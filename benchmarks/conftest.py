@@ -1,0 +1,24 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper at the ``smoke``
+preset (reduced surrogate sizes and training budgets) and prints the resulting
+rows so the run doubles as a qualitative reproduction report.  Benchmarks run
+a single round — the quantity being measured is the end-to-end cost of the
+experiment, not a micro-kernel.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.presets import get_preset
+
+
+@pytest.fixture(scope="session")
+def smoke_preset():
+    return get_preset("smoke")
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Benchmark: Figure 6 — PPFR ablations (FR epochs, PP ratio, PP+FR epochs)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure6_ablation
+
+
+def test_figure6_ablation(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        figure6_ablation,
+        preset=smoke_preset,
+        seed=0,
+        dataset="cora",
+        epoch_fractions=(0.1, 0.2),
+        gammas=(0.0, 0.2, 0.4),
+    )
+    print("\n" + result.formatted())
+    panels = {}
+    for row in result.rows:
+        panels.setdefault(row["panel"], []).append(row)
+    assert {"vanilla", "fr_epochs", "pp_gamma", "ppfr_epochs"} <= set(panels)
+
+    vanilla = panels["vanilla"][0]
+    # Panel 2 (middle figure): increasing the perturbation ratio γ does not
+    # increase the attack AUC, and γ=0.4 costs at least as much accuracy as γ=0.
+    gamma_rows = sorted(panels["pp_gamma"], key=lambda row: row["sweep_value"])
+    assert gamma_rows[-1]["risk_auc"] <= gamma_rows[0]["risk_auc"] + 0.01
+    assert gamma_rows[-1]["accuracy"] <= gamma_rows[0]["accuracy"] + 0.02
+    # Panel 3 (right figure): with PP active, risk stays near the vanilla level.
+    for row in panels["ppfr_epochs"]:
+        assert row["risk_auc"] <= vanilla["risk_auc"] + 0.02

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 7 — accuracy cost of each method on GraphSAGE."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7_graphsage_cost
+
+
+def test_figure7_graphsage_cost(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        figure7_graphsage_cost,
+        preset=smoke_preset,
+        seed=0,
+        datasets=["cora"],
+    )
+    print("\n" + result.formatted())
+    by_method = {row["method"]: row["delta_accuracy_percent"] for row in result.rows}
+    assert set(by_method) == {"reg", "dpreg", "dpfr", "ppfr"}
+    # Shape check: thanks to neighbour sampling, GraphSAGE tolerates both the DP
+    # noise and the PPFR perturbation — no method collapses the model.
+    assert all(value > -60.0 for value in by_method.values())

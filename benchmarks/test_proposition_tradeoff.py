@@ -1,0 +1,24 @@
+"""Benchmark: Lemma V.1 / Proposition V.2 diagnostics across all surrogates."""
+
+from conftest import run_once
+
+from repro.experiments.tables import proposition_tradeoff_diagnostics
+
+
+def test_proposition_tradeoff(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        proposition_tradeoff_diagnostics,
+        preset=smoke_preset,
+        seed=0,
+    )
+    print("\n" + result.formatted())
+    rows = {row["dataset"]: row for row in result.rows}
+    # Homophily assumption p > q holds on every surrogate.
+    assert all(row["p_intra"] > row["q_inter"] for row in rows.values())
+    # Sparsity: the 2-hop fraction of unconnected pairs is small (Eq. 5).
+    assert all(row["two_hop_ratio_empirical"] < 0.3 for row in rows.values())
+    # The strong-homophily graphs are more homophilous than the weak ones.
+    strong = min(rows[d]["edge_homophily"] for d in ("cora", "pubmed"))
+    weak = max(rows[d]["edge_homophily"] for d in ("enzymes", "credit"))
+    assert strong > weak

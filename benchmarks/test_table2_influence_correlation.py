@@ -1,0 +1,23 @@
+"""Benchmark: Table II — Pearson correlation between bias and risk influences."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2_influence_correlation
+
+
+def test_table2_influence_correlation(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        table2_influence_correlation,
+        preset=smoke_preset,
+        seed=0,
+        datasets=["cora", "citeseer", "pubmed"],
+        models=["gcn"],
+    )
+    print("\n" + result.formatted())
+    # Shape check: correlations are valid and, as in the paper, not strongly
+    # positive (|r| < 0.3 or negative) for the majority of cells.
+    correlations = result.column("pearson_r")
+    assert all(-1.0 <= r <= 1.0 for r in correlations)
+    weak_or_negative = sum(1 for r in correlations if r < 0.3)
+    assert weak_or_negative >= len(correlations) // 2

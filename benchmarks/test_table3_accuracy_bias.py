@@ -1,0 +1,27 @@
+"""Benchmark: Table III — accuracy and bias of GCN, Vanilla vs Reg."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3_accuracy_bias
+
+
+def test_table3_accuracy_bias(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        table3_accuracy_bias,
+        preset=smoke_preset,
+        seed=0,
+        datasets=["cora", "citeseer", "pubmed"],
+    )
+    print("\n" + result.formatted())
+    by_dataset = {}
+    for row in result.rows:
+        by_dataset.setdefault(row["dataset"], {})[row["method"]] = row
+    # Shape check: Reg reduces bias on the majority of datasets and never
+    # increases accuracy by a large margin (fairness costs performance).
+    bias_reduced = sum(
+        1 for rows in by_dataset.values() if rows["reg"]["bias"] <= rows["vanilla"]["bias"]
+    )
+    assert bias_reduced >= 2
+    for rows in by_dataset.values():
+        assert rows["reg"]["accuracy_percent"] <= rows["vanilla"]["accuracy_percent"] + 5.0

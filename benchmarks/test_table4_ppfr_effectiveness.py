@@ -1,0 +1,42 @@
+"""Benchmark: Table IV — effectiveness of PPFR vs the Reg/DPReg/DPFR baselines."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table4_ppfr_effectiveness
+
+
+def test_table4_ppfr_effectiveness(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        table4_ppfr_effectiveness,
+        preset=smoke_preset,
+        seed=0,
+        datasets=["cora", "citeseer", "pubmed"],
+        models=["gcn"],
+        methods=("reg", "dpreg", "dpfr", "ppfr"),
+    )
+    print("\n" + result.formatted())
+    rows = {(row["dataset"], row["method"]): row for row in result.rows}
+    datasets = {row["dataset"] for row in result.rows}
+
+    # Shape checks mirroring the paper's qualitative claims:
+    # (1) every method reduces bias on most datasets,
+    ppfr_bias_reduced = sum(
+        1 for d in datasets if rows[(d, "ppfr")]["delta_bias_percent"] < 0
+    )
+    assert ppfr_bias_reduced >= len(datasets) - 1
+    # (2) PPFR restricts privacy risk (Δrisk ≤ small positive tolerance) on most datasets,
+    ppfr_risk_ok = sum(
+        1 for d in datasets if rows[(d, "ppfr")]["delta_risk_percent"] <= 0.5
+    )
+    assert ppfr_risk_ok >= len(datasets) - 1
+    # (3) PPFR achieves a positive combined Δ on the majority of datasets,
+    ppfr_positive = sum(1 for d in datasets if rows[(d, "ppfr")]["delta_combined"] > 0)
+    assert ppfr_positive >= len(datasets) - 1
+    # (4) Reg alone does not reduce risk as much as PPFR (per-dataset majority).
+    reg_worse = sum(
+        1
+        for d in datasets
+        if rows[(d, "reg")]["delta_risk_percent"] >= rows[(d, "ppfr")]["delta_risk_percent"]
+    )
+    assert reg_worse >= len(datasets) - 1

@@ -1,0 +1,26 @@
+"""Benchmark: Table V — the method grid on weak-homophily graphs (Enzymes, Credit)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table5_weak_homophily
+
+
+def test_table5_weak_homophily(benchmark, smoke_preset):
+    result = run_once(
+        benchmark,
+        table5_weak_homophily,
+        preset=smoke_preset,
+        seed=0,
+        datasets=["enzymes", "credit"],
+        methods=("reg", "dpreg", "dpfr", "ppfr"),
+    )
+    print("\n" + result.formatted())
+    rows = {(row["dataset"], row["method"]): row for row in result.rows}
+    # Shape checks at smoke scale: the grid completes on both weak-homophily
+    # surrogates, PPFR still reduces bias, and the fairness-only baseline's
+    # risk increase stays bounded (the paper's "limited or non-existent
+    # trade-off" on weak homophily; the sign flip of Reg's Δ on Credit shows
+    # up at the quick/full presets — see EXPERIMENTS.md).
+    assert {d for d, _ in rows} == {"enzymes", "credit"}
+    assert all(rows[(d, "ppfr")]["delta_bias_percent"] < 5.0 for d in ("enzymes", "credit"))
+    assert all(rows[(d, "reg")]["delta_risk_percent"] < 10.0 for d in ("enzymes", "credit"))

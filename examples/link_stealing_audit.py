@@ -1,0 +1,66 @@
+"""Audit a trained GNN for edge leakage and compare defences.
+
+Demonstrates the attacker side of the paper: the link-stealing Attack-0 and
+the LinkTeller influence attack against a trained GCN, and how edge-DP
+(EdgeRand / LapGraph) and PPFR's heterophilic perturbation affect the attack.
+
+Run with::
+
+    python examples/link_stealing_audit.py
+"""
+
+import numpy as np
+
+from repro.core.perturbation import privacy_aware_perturbation
+from repro.datasets import load_dataset
+from repro.gnn import TrainConfig, Trainer, build_model, evaluate_accuracy
+from repro.privacy import LinkStealingAttack, LinkTellerAttack, edge_rand, lap_graph
+from repro.privacy.attacks.link_stealing import sample_attack_pairs
+
+
+def main() -> None:
+    graph = load_dataset("pubmed", seed=0, scale=0.6)
+    model = build_model("gcn", graph.num_features, graph.num_classes, rng=0)
+    Trainer(model, TrainConfig(epochs=80, patience=None)).fit(graph)
+    print(f"victim GCN accuracy: {evaluate_accuracy(model, graph):.3f}\n")
+
+    attack = LinkStealingAttack(seed=0)
+    pairs, labels = sample_attack_pairs(graph, rng=np.random.default_rng(0))
+
+    # 1. Attack-0 against the undefended model, per distance metric.
+    baseline = attack.evaluate(model, graph)
+    print("Attack-0 AUC per distance (undefended):")
+    for metric, auc in sorted(baseline.auc_per_metric.items()):
+        print(f"  {metric:12s} {auc:.3f}")
+    print(f"  {'mean':12s} {baseline.mean_auc:.3f}\n")
+
+    # 2. LinkTeller on a subsample of candidate pairs (two queries per probe).
+    linkteller_auc = LinkTellerAttack(perturbation=1e-2).evaluate(model, graph, num_pairs=60, rng=0)
+    print(f"LinkTeller AUC (60 probed pairs): {linkteller_auc:.3f}\n")
+
+    # 3. Defences: serve posteriors computed on a protected graph structure.
+    defences = {
+        "EdgeRand eps=4": edge_rand(graph.adjacency, epsilon=4.0, rng=0),
+        "LapGraph eps=4": lap_graph(graph.adjacency, epsilon=4.0, rng=0),
+        "PPFR perturbation (gamma=0.2)": privacy_aware_perturbation(
+            model, graph, gamma=0.2, rng=0
+        ).perturbed_adjacency,
+    }
+    print("defence                          attack AUC   accuracy of served predictions")
+    for name, adjacency in defences.items():
+        posteriors = model.predict_proba(graph.features, adjacency)
+        result = attack.evaluate_posteriors(posteriors, pairs, labels)
+        accuracy = (
+            posteriors[graph.test_mask].argmax(axis=1) == graph.labels[graph.test_mask]
+        ).mean()
+        print(f"{name:32s} {result.mean_auc:9.3f}   {accuracy:8.3f}")
+
+    print(
+        "\nExpected shape: every defence lowers the attack AUC relative to the "
+        "undefended model; the heterophilic PPFR perturbation costs less accuracy "
+        "than DP noise with a comparable AUC reduction."
+    )
+
+
+if __name__ == "__main__":
+    main()

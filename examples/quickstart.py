@@ -1,0 +1,50 @@
+"""Quickstart: train a GCN, measure fairness and edge-privacy risk, run PPFR.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import MethodSettings, PPFRConfig, run_all_methods
+from repro.datasets import load_dataset
+from repro.gnn import TrainConfig
+
+
+def main() -> None:
+    # 1. Load a Cora surrogate (a calibrated SBM stand-in for the real graph).
+    graph = load_dataset("cora", seed=0, scale=0.5)
+    print(f"graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"{graph.num_classes} classes, {graph.num_features} features")
+
+    # 2. Configure the shared training settings and the PPFR hyper-parameters.
+    settings = MethodSettings(
+        train=TrainConfig(epochs=60, patience=None),
+        fairness_weight=100.0,          # λ of the InFoRM regulariser (Reg baseline)
+        dp_epsilon=4.0,                 # ε of the edge-DP baselines
+        ppfr=PPFRConfig(gamma=0.2, fine_tune_fraction=0.2),
+    )
+
+    # 3. Train vanilla, Reg and PPFR on a GCN and evaluate all three.
+    outcome = run_all_methods(graph, "gcn", settings, methods=["reg", "ppfr"])
+
+    print("\nmethod     accuracy   bias     attack-AUC")
+    for name, evaluation in outcome["evaluations"].items():
+        print(f"{name:9s}  {evaluation.accuracy:8.3f}  {evaluation.bias:7.4f}  {evaluation.risk_auc:7.3f}")
+
+    print("\nrelative changes against vanilla training:")
+    for name, delta in outcome["deltas"].items():
+        row = delta.to_dict()
+        print(
+            f"{name:9s}  ΔAcc {row['delta_accuracy_percent']:+6.1f}%  "
+            f"ΔBias {row['delta_bias_percent']:+7.1f}%  "
+            f"ΔRisk {row['delta_risk_percent']:+6.2f}%  "
+            f"Δ {row['delta_combined']:+.3f}"
+        )
+    print(
+        "\nExpected shape: Reg lowers bias but not risk (Δ ≤ 0); "
+        "PPFR lowers bias with restricted risk (Δ > 0) at a small accuracy cost."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Configuration objects shared by PPFR and the baseline methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fairness.reweighting import FairnessReweightingConfig
+from repro.gnn.trainer import TrainConfig
+
+
+@dataclass
+class PPFRConfig:
+    """Hyper-parameters of the PPFR fine-tuning scheme.
+
+    Attributes
+    ----------
+    gamma:
+        Ratio of injected heterophilic edges per node, ``|N(i)_Δ| = γ|N(i)|``.
+    fine_tune_fraction:
+        ``s`` in ``e_re = s · e_va`` — the fine-tuning epoch budget as a
+        fraction of the vanilla-training epochs (paper: s ∈ [0.1, 0.25]).
+    fine_tune_lr_scale:
+        Learning-rate multiplier of the fine-tuning phase relative to vanilla
+        training.  Fine-tuning starts at the vanilla optimum, so a reduced
+        step size keeps the update within the region where the influence
+        approximation holds (0.1 by default).
+    reweighting:
+        QCLP / influence settings (α = 0.9, β = 0.1 in the paper).
+    seed:
+        Seed for the perturbation sampling.
+    """
+
+    gamma: float = 0.2
+    fine_tune_fraction: float = 0.15
+    fine_tune_lr_scale: float = 0.1
+    reweighting: FairnessReweightingConfig = field(
+        default_factory=FairnessReweightingConfig
+    )
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gamma < 0:
+            raise ValueError("gamma must be non-negative")
+        if not 0 < self.fine_tune_fraction <= 1:
+            raise ValueError("fine_tune_fraction must lie in (0, 1]")
+        if self.fine_tune_lr_scale <= 0:
+            raise ValueError("fine_tune_lr_scale must be positive")
+
+    def fine_tune_epochs(self, vanilla_epochs: int) -> int:
+        """Epoch budget of the fine-tuning phase, ``e_re = s · e_va`` (≥ 1)."""
+        return max(1, int(round(self.fine_tune_fraction * vanilla_epochs)))
+
+
+@dataclass
+class MethodSettings:
+    """Everything needed to run one method on one (dataset, model) cell.
+
+    Attributes
+    ----------
+    train:
+        Vanilla-training hyper-parameters shared by every method.
+    fairness_weight:
+        λ of the InFoRM regulariser used by the ``Reg`` / ``DPReg`` baselines.
+    dp_epsilon:
+        Privacy budget of the edge-DP baselines.
+    dp_mechanism:
+        ``"edge_rand"`` (Cora / Citeseer in the paper) or ``"lap_graph"``
+        (Pubmed, more scalable).
+    ppfr:
+        PPFR-specific settings.
+    attack_seed:
+        Seed of the link-stealing evaluation (negative-pair sampling).
+    """
+
+    train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=150, patience=None))
+    fairness_weight: float = 100.0
+    dp_epsilon: float = 4.0
+    dp_mechanism: str = "edge_rand"
+    ppfr: PPFRConfig = field(default_factory=PPFRConfig)
+    attack_seed: int = 0
+    model_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.fairness_weight <= 0:
+            raise ValueError("fairness_weight must be positive")
+        if self.dp_epsilon <= 0:
+            raise ValueError("dp_epsilon must be positive")
+        if self.dp_mechanism not in ("edge_rand", "lap_graph"):
+            raise ValueError("dp_mechanism must be 'edge_rand' or 'lap_graph'")

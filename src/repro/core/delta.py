@@ -1,0 +1,78 @@
+"""The combined fairness–privacy effectiveness metric Δ (Eq. 22).
+
+``Δ = (Δbias · Δrisk) / |Δacc|`` where each ``Δ(·)`` is the relative change of
+the metric w.r.t. the vanilla-trained model.  A *positive* Δ means the method
+improves fairness and privacy simultaneously (both relative changes negative)
+or degrades both; the paper therefore reads Δ together with the signs of its
+factors and the magnitude of the accuracy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.results import MethodEvaluation
+
+
+def relative_change(treated: float, reference: float, eps: float = 1e-12) -> float:
+    """``(treated − reference) / reference`` with a guard for tiny references."""
+    denominator = reference if abs(reference) > eps else (eps if reference >= 0 else -eps)
+    return (treated - reference) / denominator
+
+
+@dataclass
+class DeltaReport:
+    """Relative changes of a method against the vanilla baseline."""
+
+    method: str
+    dataset: str
+    model: str
+    delta_accuracy: float
+    delta_bias: float
+    delta_risk: float
+    delta_combined: float
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "method": self.method,
+            "dataset": self.dataset,
+            "model": self.model,
+            "delta_accuracy_percent": 100.0 * self.delta_accuracy,
+            "delta_bias_percent": 100.0 * self.delta_bias,
+            "delta_risk_percent": 100.0 * self.delta_risk,
+            "delta_combined": self.delta_combined,
+        }
+
+    @property
+    def improves_both(self) -> bool:
+        """True when the method reduces bias *and* risk simultaneously."""
+        return self.delta_bias < 0 and self.delta_risk < 0
+
+
+def delta_report(
+    treated: MethodEvaluation,
+    vanilla: MethodEvaluation,
+    min_accuracy_change: float = 1e-3,
+) -> DeltaReport:
+    """Compute the Δ scorecard of ``treated`` relative to ``vanilla``.
+
+    ``min_accuracy_change`` floors ``|Δacc|`` so that methods with essentially
+    zero accuracy change do not blow up the combined metric (the paper's
+    evaluation never encounters an exactly-zero accuracy change; the floor
+    only protects degenerate small-scale runs).
+    """
+    delta_accuracy = relative_change(treated.accuracy, vanilla.accuracy)
+    delta_bias = relative_change(treated.bias, vanilla.bias)
+    delta_risk = relative_change(treated.risk_auc, vanilla.risk_auc)
+    denominator = max(abs(delta_accuracy), min_accuracy_change)
+    combined = (delta_bias * delta_risk) / denominator
+    return DeltaReport(
+        method=treated.method,
+        dataset=treated.dataset,
+        model=treated.model,
+        delta_accuracy=delta_accuracy,
+        delta_bias=delta_bias,
+        delta_risk=delta_risk,
+        delta_combined=combined,
+    )

@@ -1,0 +1,107 @@
+"""Method registry and the per-cell experiment pipeline.
+
+``run_all_methods`` trains every requested method on one (dataset, model)
+cell, evaluates each on accuracy / bias / risk and reports the Δ scorecards
+against the vanilla baseline — this is the building block every table and
+figure of the paper is assembled from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baselines import (
+    run_dp_fr,
+    run_dp_reg,
+    run_fr_only,
+    run_pp_only,
+    run_reg,
+    run_vanilla,
+)
+from repro.core.config import MethodSettings
+from repro.core.delta import DeltaReport, delta_report
+from repro.core.ppfr import run_ppfr
+from repro.core.results import MethodEvaluation, MethodRun, evaluate_method
+from repro.gnn.models import build_model
+from repro.graphs.graph import Graph
+from repro.graphs.similarity import jaccard_similarity
+from repro.privacy.attacks.link_stealing import LinkStealingAttack
+
+MethodRunner = Callable[..., MethodRun]
+
+METHOD_RUNNERS: Dict[str, MethodRunner] = {
+    "vanilla": run_vanilla,
+    "reg": run_reg,
+    "dpreg": run_dp_reg,
+    "dpfr": run_dp_fr,
+    "ppfr": run_ppfr,
+    "fr": run_fr_only,
+    "pp": run_pp_only,
+}
+"""Name → runner for every training scheme evaluated in the paper."""
+
+
+def run_method(
+    method: str,
+    model_name: str,
+    graph: Graph,
+    settings: MethodSettings,
+    hidden_features: int = 16,
+) -> MethodRun:
+    """Construct a fresh model and train it with ``method`` on ``graph``."""
+    key = method.lower()
+    if key not in METHOD_RUNNERS:
+        raise KeyError(
+            f"unknown method {method!r}; available: {', '.join(sorted(METHOD_RUNNERS))}"
+        )
+    model = build_model(
+        model_name,
+        in_features=graph.num_features,
+        num_classes=graph.num_classes,
+        hidden_features=hidden_features,
+        rng=settings.model_seed,
+    )
+    return METHOD_RUNNERS[key](model, graph, settings)
+
+
+def run_all_methods(
+    graph: Graph,
+    model_name: str,
+    settings: MethodSettings,
+    methods: Sequence[str] = ("vanilla", "reg", "dpreg", "dpfr", "ppfr"),
+    hidden_features: int = 16,
+) -> Dict[str, object]:
+    """Run the requested methods on one (dataset, model) cell.
+
+    Returns a dictionary with
+
+    * ``"runs"`` — method name → :class:`MethodRun`,
+    * ``"evaluations"`` — method name → :class:`MethodEvaluation`,
+    * ``"deltas"`` — method name → :class:`DeltaReport` (methods other than
+      vanilla, relative to the vanilla run).
+    """
+    methods = list(methods)
+    if "vanilla" not in methods:
+        methods = ["vanilla"] + methods
+
+    similarity = jaccard_similarity(graph.adjacency)
+    attack = LinkStealingAttack(seed=settings.attack_seed)
+
+    runs: Dict[str, MethodRun] = {}
+    evaluations: Dict[str, MethodEvaluation] = {}
+    for method in methods:
+        run = run_method(method, model_name, graph, settings, hidden_features)
+        runs[method] = run
+        evaluations[method] = evaluate_method(
+            run, model_name=model_name, similarity=similarity, attack=attack
+        )
+
+    vanilla_eval = evaluations["vanilla"]
+    deltas: Dict[str, DeltaReport] = {
+        name: delta_report(evaluation, vanilla_eval)
+        for name, evaluation in evaluations.items()
+        if name != "vanilla"
+    }
+    return {"runs": runs, "evaluations": evaluations, "deltas": deltas}

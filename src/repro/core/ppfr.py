@@ -1,0 +1,91 @@
+"""The PPFR method (Privacy-aware Perturbations + Fairness-aware Reweighting).
+
+Algorithm (Fig. 3 of the paper):
+
+1. **Vanilla training** of the victim GNN for accuracy.
+2. **Privacy-aware perturbation** — query the trained model for predicted
+   labels and inject heterophilic noisy edges, ``A' = A + ΔA`` with per-node
+   budget ``γ·|N(i)|``.
+3. **Fairness-aware reweighting** — estimate per-node influences on bias and
+   utility with influence functions and solve the QCLP of Eq. (13) for
+   weights ``w ∈ [−1, 1]``.
+4. **Fine-tuning** — continue training for ``e_re = s·e_va`` epochs on the
+   perturbed structure with the weighted loss ``Σ (1 + w_v)·L_v``.
+
+The procedure is model-agnostic: it only needs the trained model's prediction
+interface and gradients, so it applies unchanged to GCN, GAT and GraphSAGE.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import MethodSettings
+from repro.core.perturbation import privacy_aware_perturbation
+from repro.core.results import MethodRun
+from repro.fairness.reweighting import compute_fairness_weights
+from repro.gnn.models import GNNModel
+from repro.gnn.trainer import Trainer
+from repro.graphs.graph import Graph
+
+
+def run_ppfr(
+    model: GNNModel,
+    graph: Graph,
+    settings: MethodSettings,
+    skip_vanilla: bool = False,
+) -> MethodRun:
+    """Train ``model`` on ``graph`` with the full PPFR pipeline.
+
+    Parameters
+    ----------
+    model:
+        A freshly initialised (or, with ``skip_vanilla=True``, already
+        vanilla-trained) victim model.
+    graph:
+        Training graph with labels and split masks.
+    settings:
+        Shared method settings; ``settings.ppfr`` carries γ, s, α and β.
+    skip_vanilla:
+        When True the vanilla-training phase is skipped and the model is
+        assumed to be already trained — this is the "plug-and-play" usage on
+        an existing production model highlighted by the paper.
+    """
+    trainer = Trainer(model, settings.train)
+    vanilla_result = None
+    if not skip_vanilla:
+        vanilla_result = trainer.fit(graph)
+
+    ppfr = settings.ppfr
+
+    # Phase 2a: privacy-aware perturbation guided by the trained model.
+    perturbation = privacy_aware_perturbation(
+        model, graph, gamma=ppfr.gamma, rng=ppfr.seed
+    )
+
+    # Phase 2b: fairness-aware reweighting via influence functions + QCLP.
+    weights = compute_fairness_weights(model, graph, config=ppfr.reweighting)
+
+    # Phase 2c: fine-tune on the perturbed structure with the weighted loss.
+    epochs = ppfr.fine_tune_epochs(settings.train.epochs)
+    fine_tune_result = trainer.fine_tune(
+        graph,
+        epochs=epochs,
+        sample_weights=weights.loss_multipliers,
+        adjacency_override=perturbation.perturbed_adjacency,
+        learning_rate_scale=ppfr.fine_tune_lr_scale,
+    )
+
+    return MethodRun(
+        method="ppfr",
+        model=model,
+        graph=graph,
+        serving_adjacency=perturbation.perturbed_adjacency,
+        train_result=vanilla_result,
+        fine_tune_result=fine_tune_result,
+        extras={
+            "perturbation": perturbation,
+            "fairness_weights": weights,
+            "fine_tune_epochs": epochs,
+        },
+    )

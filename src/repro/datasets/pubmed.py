@@ -1,0 +1,33 @@
+"""Pubmed surrogate specification.
+
+The real Pubmed network has 19 717 nodes, 44 338 edges, 3 classes, 500
+TF-IDF features and edge homophily ≈ 0.80.  The surrogate keeps the 3-class
+structure and homophily; features are continuous (Gaussian) to mimic TF-IDF.
+"""
+
+from __future__ import annotations
+
+from repro.datasets.spec import DatasetSpec
+
+PUBMED_SPEC = DatasetSpec(
+    name="pubmed",
+    num_nodes=720,
+    num_classes=3,
+    num_features=128,
+    average_degree=4.5,
+    homophily=0.80,
+    feature_model="gaussian",
+    degree_heterogeneity=0.40,
+    train_per_class=20,
+    val_fraction=0.15,
+    test_fraction=0.35,
+    class_separation=2.2,
+    feature_noise=1.3,
+    original_statistics={
+        "num_nodes": 19717,
+        "num_edges": 44338,
+        "num_classes": 3,
+        "num_features": 500,
+        "edge_homophily": 0.80,
+    },
+)

@@ -1,0 +1,55 @@
+"""Dataset registry and the public ``load_dataset`` entry point."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.datasets.citeseer import CITESEER_SPEC
+from repro.datasets.cora import CORA_SPEC
+from repro.datasets.credit import CREDIT_SPEC
+from repro.datasets.enzymes import ENZYMES_SPEC
+from repro.datasets.pubmed import PUBMED_SPEC
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.synthetic import generate_surrogate
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomState
+
+DATASET_SPECS: Dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in (CORA_SPEC, CITESEER_SPEC, PUBMED_SPEC, ENZYMES_SPEC, CREDIT_SPEC)
+}
+
+
+def available_datasets() -> List[str]:
+    """Names of all registered dataset surrogates."""
+    return sorted(DATASET_SPECS)
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up the :class:`DatasetSpec` registered under ``name``."""
+    key = name.lower()
+    if key not in DATASET_SPECS:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {', '.join(available_datasets())}"
+        )
+    return DATASET_SPECS[key]
+
+
+def load_dataset(
+    name: str, seed: RandomState = 0, scale: float = 1.0
+) -> Graph:
+    """Generate the surrogate graph for ``name``.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets` (case-insensitive).
+    seed:
+        Root seed controlling structure, features and split.
+    scale:
+        Optional node-count scale factor (< 1 for faster benchmark presets).
+    """
+    spec = get_spec(name)
+    if scale != 1.0:
+        spec = spec.scaled(scale)
+    return generate_surrogate(spec, seed=seed)

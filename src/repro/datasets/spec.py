@@ -1,0 +1,88 @@
+"""Dataset specification dataclass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Parameters describing a synthetic surrogate of a benchmark graph.
+
+    Attributes
+    ----------
+    name:
+        Dataset identifier (``"cora"``, ``"citeseer"``, ...).
+    num_nodes / num_classes / num_features:
+        Size of the surrogate.  Node counts are scaled down from the original
+        datasets so the full experiment grid runs quickly on CPU; class count
+        and the homophily/sparsity regime follow the originals.
+    average_degree:
+        Target mean degree, controlling sparsity.
+    homophily:
+        Target edge homophily (fraction of intra-class edges), the key
+        quantity in the paper's analysis (Table V studies low values).
+    feature_model:
+        ``"binary"`` for sparse bag-of-words features (citation networks) or
+        ``"gaussian"`` for continuous features (Enzymes / Credit surrogates).
+    degree_heterogeneity:
+        Log-normal sigma of the degree-corrected SBM (0 = homogeneous).
+    train_per_class / val_fraction / test_fraction:
+        Split sizes in the Planetoid style (fixed labelled nodes per class).
+    class_separation / feature_noise:
+        Parameters of the Gaussian feature model.
+    feature_active_fraction / feature_class_signal:
+        Parameters of the binary feature model.
+    original_statistics:
+        Reference statistics of the real dataset (for documentation and
+        reporting, not used by the generator).
+    """
+
+    name: str
+    num_nodes: int
+    num_classes: int
+    num_features: int
+    average_degree: float
+    homophily: float
+    feature_model: str = "binary"
+    degree_heterogeneity: float = 0.35
+    train_per_class: int = 20
+    val_fraction: float = 0.15
+    test_fraction: float = 0.35
+    class_separation: float = 2.0
+    feature_noise: float = 1.0
+    feature_active_fraction: float = 0.04
+    feature_class_signal: float = 0.45
+    original_statistics: Dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.feature_model not in ("binary", "gaussian"):
+            raise ValueError("feature_model must be 'binary' or 'gaussian'")
+        if self.num_nodes < self.num_classes * (self.train_per_class + 2):
+            raise ValueError(
+                f"{self.name}: num_nodes too small for the requested split sizes"
+            )
+        if not 0.0 < self.homophily <= 1.0:
+            raise ValueError("homophily must lie in (0, 1]")
+        if self.average_degree <= 0:
+            raise ValueError("average_degree must be positive")
+
+    def scaled(self, factor: float) -> "DatasetSpec":
+        """Return a spec with the node count scaled by ``factor``.
+
+        Used by the benchmark presets to run reduced-size versions of each
+        experiment while preserving class structure and homophily.  The node
+        count is clamped from below so that the Planetoid-style split (fixed
+        training nodes per class plus the val/test fractions) always fits.
+        """
+        if factor <= 0:
+            raise ValueError("factor must be positive")
+        labelled_budget = 1.0 - self.val_fraction - self.test_fraction
+        min_nodes_for_split = int(
+            np.ceil(self.num_classes * self.train_per_class / max(labelled_budget, 1e-9))
+        ) + self.num_classes
+        new_nodes = max(int(self.num_nodes * factor), min_nodes_for_split)
+        return replace(self, num_nodes=new_nodes)

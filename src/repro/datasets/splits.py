@@ -1,0 +1,80 @@
+"""Train/validation/test split construction."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_labels, check_probability
+
+
+def make_planetoid_split(
+    labels: np.ndarray,
+    train_per_class: int,
+    val_fraction: float,
+    test_fraction: float,
+    rng: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Planetoid-style split: a fixed number of training nodes per class.
+
+    The remaining nodes are split into validation and test sets according to
+    the requested fractions (of the total node count); any leftover nodes stay
+    unlabelled, as in the semi-supervised node-classification setting used by
+    the paper.
+    """
+    labels = check_labels(labels)
+    check_probability(val_fraction, name="val_fraction")
+    check_probability(test_fraction, name="test_fraction")
+    if train_per_class <= 0:
+        raise ValueError("train_per_class must be positive")
+    generator = ensure_rng(rng)
+    n = labels.shape[0]
+    num_classes = int(labels.max()) + 1
+
+    train_mask = np.zeros(n, dtype=bool)
+    for cls in range(num_classes):
+        members = np.nonzero(labels == cls)[0]
+        if members.size < train_per_class:
+            raise ValueError(
+                f"class {cls} has only {members.size} nodes, cannot draw {train_per_class}"
+            )
+        chosen = generator.choice(members, size=train_per_class, replace=False)
+        train_mask[chosen] = True
+
+    remaining = np.nonzero(~train_mask)[0]
+    generator.shuffle(remaining)
+    num_val = int(round(val_fraction * n))
+    num_test = int(round(test_fraction * n))
+    if num_val + num_test > remaining.size:
+        raise ValueError("val_fraction + test_fraction too large for this split")
+    val_mask = np.zeros(n, dtype=bool)
+    test_mask = np.zeros(n, dtype=bool)
+    val_mask[remaining[:num_val]] = True
+    test_mask[remaining[num_val : num_val + num_test]] = True
+    return train_mask, val_mask, test_mask
+
+
+def make_fraction_split(
+    num_nodes: int,
+    train_fraction: float,
+    val_fraction: float,
+    rng: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Random split by fractions; the remainder becomes the test set."""
+    check_probability(train_fraction, name="train_fraction")
+    check_probability(val_fraction, name="val_fraction")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train_fraction + val_fraction must be < 1")
+    generator = ensure_rng(rng)
+    order = generator.permutation(num_nodes)
+    num_train = int(round(train_fraction * num_nodes))
+    num_val = int(round(val_fraction * num_nodes))
+    train_mask = np.zeros(num_nodes, dtype=bool)
+    val_mask = np.zeros(num_nodes, dtype=bool)
+    test_mask = np.zeros(num_nodes, dtype=bool)
+    train_mask[order[:num_train]] = True
+    val_mask[order[num_train : num_train + num_val]] = True
+    test_mask[order[num_train + num_val :]] = True
+    return train_mask, val_mask, test_mask

@@ -1,0 +1,112 @@
+"""Synthetic surrogate generation from a :class:`DatasetSpec`."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.splits import make_planetoid_split
+from repro.graphs.generators import (
+    binary_class_features,
+    ensure_connected_to_giant,
+    gaussian_class_features,
+    planted_partition_graph,
+)
+from repro.graphs.graph import Graph
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+
+
+def generate_surrogate(spec: DatasetSpec, seed: RandomState = 0) -> Graph:
+    """Generate the surrogate graph described by ``spec``.
+
+    The generation pipeline is:
+
+    1. sample a degree-corrected planted-partition graph with the target
+       average degree and homophily,
+    2. attach isolated nodes so every node participates in message passing,
+    3. sample class-conditional features (binary bag-of-words or Gaussian),
+    4. draw a Planetoid-style train/val/test split.
+
+    All randomness is derived from ``seed`` so repeated calls with the same
+    seed return identical graphs.
+    """
+    structure_rng, feature_rng, split_rng, repair_rng = spawn_children(ensure_rng(seed), 4)
+
+    adjacency, labels = planted_partition_graph(
+        num_nodes=spec.num_nodes,
+        num_classes=spec.num_classes,
+        average_degree=spec.average_degree,
+        homophily=spec.homophily,
+        rng=structure_rng,
+        degree_heterogeneity=spec.degree_heterogeneity,
+    )
+    adjacency = ensure_connected_to_giant(adjacency, rng=repair_rng)
+
+    if spec.feature_model == "binary":
+        features = binary_class_features(
+            labels,
+            num_features=spec.num_features,
+            active_fraction=spec.feature_active_fraction,
+            class_signal=spec.feature_class_signal,
+            rng=feature_rng,
+        )
+    else:
+        features = gaussian_class_features(
+            labels,
+            num_features=spec.num_features,
+            class_separation=spec.class_separation,
+            noise_scale=spec.feature_noise,
+            rng=feature_rng,
+        )
+
+    train_mask, val_mask, test_mask = make_planetoid_split(
+        labels,
+        train_per_class=spec.train_per_class,
+        val_fraction=spec.val_fraction,
+        test_fraction=spec.test_fraction,
+        rng=split_rng,
+    )
+
+    metadata = {
+        "spec": spec,
+        "surrogate": True,
+        "original_statistics": dict(spec.original_statistics),
+    }
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=labels,
+        train_mask=train_mask,
+        val_mask=val_mask,
+        test_mask=test_mask,
+        name=spec.name,
+        metadata=metadata,
+    )
+
+
+def summarize(graph: Graph) -> dict:
+    """Return basic statistics of a generated surrogate (for reports)."""
+    from repro.graphs.homophily import class_linking_probabilities, edge_homophily
+
+    labels = graph.labels
+    stats = {
+        "name": graph.name,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "num_features": graph.num_features,
+        "density": graph.density(),
+        "average_degree": float(graph.degrees.mean()),
+    }
+    if labels is not None:
+        stats["num_classes"] = graph.num_classes
+        stats["edge_homophily"] = edge_homophily(graph.adjacency, labels)
+        p, q = class_linking_probabilities(graph.adjacency, labels)
+        stats["intra_class_probability"] = p
+        stats["inter_class_probability"] = q
+    if graph.train_mask is not None:
+        stats["num_train"] = int(graph.train_mask.sum())
+    if graph.val_mask is not None:
+        stats["num_val"] = int(graph.val_mask.sum())
+    if graph.test_mask is not None:
+        stats["num_test"] = int(graph.test_mask.sum())
+    return stats

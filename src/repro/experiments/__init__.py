@@ -1,0 +1,39 @@
+"""Experiment harness reproducing every table and figure of the paper.
+
+Each experiment module exposes a ``run(preset=..., seed=...)`` function that
+returns an :class:`repro.experiments.reporting.ExperimentResult` containing
+the raw rows and a formatted text rendering of the corresponding paper
+table/figure.  The command-line entry point (``python -m repro.experiments``)
+dispatches to these functions.
+
+Experiment index (see DESIGN.md §4):
+
+==========  ===========================================================
+``table2``   Pearson correlation between bias and risk influences
+``table3``   Accuracy and bias of GCN, Vanilla vs Reg
+``table4``   Effectiveness of PPFR vs baselines (Δbias, Δrisk, Δ)
+``table5``   Weak-homophily datasets (Enzymes, Credit)
+``figure4``  Attack AUC per distance, vanilla vs Reg
+``figure5``  Accuracy cost of each method (GCN, GAT)
+``figure6``  PPFR ablations (FR epochs, PP ratio, PP+FR epochs)
+``figure7``  Accuracy cost of each method (GraphSAGE)
+``proposition``  Lemma V.1 / Proposition V.2 diagnostics
+==========  ===========================================================
+"""
+
+from repro.experiments.presets import ExperimentPreset, PRESETS, get_preset
+from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments import tables, figures
+from repro.experiments.runner import run_experiment, EXPERIMENTS
+
+__all__ = [
+    "ExperimentPreset",
+    "PRESETS",
+    "get_preset",
+    "ExperimentResult",
+    "format_table",
+    "tables",
+    "figures",
+    "run_experiment",
+    "EXPERIMENTS",
+]

@@ -1,0 +1,65 @@
+"""Command-line entry point: ``python -m repro.experiments <experiment>``.
+
+Examples
+--------
+Run the Table IV grid at the quick preset and print the rows::
+
+    python -m repro.experiments table4 --preset quick
+
+Run every experiment at the smoke preset and store JSON outputs::
+
+    python -m repro.experiments all --preset smoke --output results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.experiments.presets import PRESETS
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the tables and figures of the PPFR paper (ICDE 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (paper table/figure) or 'all'",
+    )
+    parser.add_argument(
+        "--preset",
+        default="quick",
+        choices=sorted(PRESETS),
+        help="size/budget preset (default: quick)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="directory to write <experiment>.json result files into",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = run_experiment(name, preset=args.preset, seed=args.seed)
+        print(result.formatted())
+        print()
+        if args.output:
+            path = os.path.join(args.output, f"{name}.json")
+            result.save_json(path)
+            print(f"saved {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

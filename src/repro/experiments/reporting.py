@@ -1,0 +1,70 @@
+"""Result containers and plain-text table rendering for the experiments."""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(rows: Sequence[Dict], columns: Optional[Sequence[str]] = None) -> str:
+    """Render a list of row dictionaries as an aligned text table.
+
+    Floats are shown with four decimals; the column order defaults to the key
+    order of the first row.
+    """
+    rows = list(rows)
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4f}"
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), *(len(line[idx]) for line in table))
+        for idx, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[idx]) for idx, col in enumerate(columns))
+    separator = "  ".join("-" * widths[idx] for idx in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[idx].ljust(widths[idx]) for idx in range(len(columns)))
+        for line in table
+    )
+    return f"{header}\n{separator}\n{body}"
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment: identifier, rows and free-form metadata."""
+
+    experiment: str
+    rows: List[Dict] = field(default_factory=list)
+    metadata: Dict = field(default_factory=dict)
+
+    def formatted(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Human-readable rendering of the result rows."""
+        title = f"== {self.experiment} =="
+        return f"{title}\n{format_table(self.rows, columns)}"
+
+    def save_json(self, path: str) -> None:
+        """Persist rows and metadata as JSON (creates parent directories)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        if directory and not os.path.isdir(directory):
+            os.makedirs(directory, exist_ok=True)
+        payload = {
+            "experiment": self.experiment,
+            "rows": self.rows,
+            "metadata": self.metadata,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, default=str)
+
+    def column(self, name: str) -> List:
+        """Extract one column across all rows (missing values become None)."""
+        return [row.get(name) for row in self.rows]

@@ -1,0 +1,39 @@
+"""Experiment dispatcher used by the CLI and the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Union
+
+from repro.experiments import figures, tables
+from repro.experiments.presets import ExperimentPreset
+from repro.experiments.reporting import ExperimentResult
+
+ExperimentFunction = Callable[..., ExperimentResult]
+
+EXPERIMENTS: Dict[str, ExperimentFunction] = {
+    "table2": tables.table2_influence_correlation,
+    "table3": tables.table3_accuracy_bias,
+    "table4": tables.table4_ppfr_effectiveness,
+    "table5": tables.table5_weak_homophily,
+    "proposition": tables.proposition_tradeoff_diagnostics,
+    "figure4": figures.figure4_attack_auc,
+    "figure5": figures.figure5_accuracy_cost,
+    "figure6": figures.figure6_ablation,
+    "figure7": figures.figure7_graphsage_cost,
+}
+"""Experiment id → function, keyed by the paper's table/figure numbers."""
+
+
+def run_experiment(
+    name: str,
+    preset: Union[str, ExperimentPreset] = "quick",
+    seed: int = 0,
+    **kwargs,
+) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"table4"``)."""
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return EXPERIMENTS[key](preset=preset, seed=seed, **kwargs)

@@ -1,0 +1,32 @@
+"""Individual fairness of nodes (InFoRM-style Laplacian bias).
+
+Definition 1 of the paper: given GNN predictions ``Y`` and the Jaccard
+similarity matrix ``S``, the bias is ``Tr(Yᵀ L_S Y)``; smaller is fairer.
+This subpackage provides the metric, a differentiable training regulariser,
+and the fairness-aware reweighting (FR) weight computation used by PPFR.
+"""
+
+from repro.fairness.inform import (
+    bias_metric,
+    bias_from_graph,
+    inform_regularizer,
+    bias_tensor,
+)
+from repro.fairness.metrics import (
+    individual_fairness_report,
+    pairwise_prediction_distance,
+    lipschitz_violations,
+)
+from repro.fairness.reweighting import FairnessReweightingConfig, compute_fairness_weights
+
+__all__ = [
+    "bias_metric",
+    "bias_from_graph",
+    "inform_regularizer",
+    "bias_tensor",
+    "individual_fairness_report",
+    "pairwise_prediction_distance",
+    "lipschitz_violations",
+    "FairnessReweightingConfig",
+    "compute_fairness_weights",
+]

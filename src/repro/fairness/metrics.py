@@ -1,0 +1,71 @@
+"""Additional individual-fairness diagnostics.
+
+Beyond the headline bias value, these helpers expose per-pair prediction
+distances and Lipschitz-style violation counts, which the examples use to
+illustrate *why* improving fairness makes the link-stealing attack easier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.similarity import jaccard_similarity
+from repro.fairness.inform import bias_metric
+
+
+def pairwise_prediction_distance(
+    predictions: np.ndarray, pairs: np.ndarray
+) -> np.ndarray:
+    """Euclidean distance between prediction rows for each node pair."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.zeros(0)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (M, 2)")
+    diff = predictions[pairs[:, 0]] - predictions[pairs[:, 1]]
+    return np.linalg.norm(diff, axis=1)
+
+
+def lipschitz_violations(
+    predictions: np.ndarray,
+    similarity: np.ndarray,
+    constant: float = 1.0,
+) -> int:
+    """Count pairs violating ``‖Y_i − Y_j‖ ≤ constant · (1 − S_ij)``.
+
+    This is the "fairness through awareness" Lipschitz reading of individual
+    fairness: very similar nodes (S close to 1) must receive very similar
+    predictions.  Only pairs with nonzero similarity are considered.
+    """
+    predictions = np.asarray(predictions, dtype=np.float64)
+    similarity = np.asarray(similarity, dtype=np.float64)
+    rows, cols = np.nonzero(np.triu(similarity, k=1))
+    if rows.size == 0:
+        return 0
+    distances = np.linalg.norm(predictions[rows] - predictions[cols], axis=1)
+    budget = constant * (1.0 - similarity[rows, cols])
+    return int(np.count_nonzero(distances > budget))
+
+
+def individual_fairness_report(
+    predictions: np.ndarray,
+    graph: Graph,
+    similarity: Optional[np.ndarray] = None,
+) -> Dict[str, float]:
+    """Summary of individual-fairness statistics for a prediction matrix."""
+    sim = jaccard_similarity(graph.adjacency) if similarity is None else similarity
+    rows, cols = np.nonzero(np.triu(sim, k=1))
+    pairs = np.stack([rows, cols], axis=1) if rows.size else np.zeros((0, 2), dtype=np.int64)
+    distances = pairwise_prediction_distance(predictions, pairs)
+    return {
+        "bias": bias_metric(predictions, sim),
+        "bias_unnormalized": bias_metric(predictions, sim, normalize=False),
+        "mean_similar_pair_distance": float(distances.mean()) if distances.size else 0.0,
+        "max_similar_pair_distance": float(distances.max()) if distances.size else 0.0,
+        "num_similar_pairs": int(rows.size),
+        "lipschitz_violations": lipschitz_violations(predictions, sim),
+    }

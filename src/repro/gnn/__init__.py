@@ -1,0 +1,32 @@
+"""Graph neural network models (GCN, GAT, GraphSAGE) and the trainer.
+
+These are the victim models of the paper's experiments.  They are built on
+the :mod:`repro.nn` autodiff substrate and operate on dense adjacency
+matrices, which is appropriate at the surrogate graph sizes used here.
+"""
+
+from repro.gnn.layers import GCNConv, GATConv, SAGEConv
+from repro.gnn.models import GCN, GAT, GraphSAGE, build_model, MODEL_REGISTRY
+from repro.gnn.normalization import gcn_norm, left_norm, row_normalize_features
+from repro.gnn.trainer import Trainer, TrainConfig, TrainResult
+from repro.gnn.evaluation import evaluate_accuracy, predict_probabilities, predict_labels
+
+__all__ = [
+    "GCNConv",
+    "GATConv",
+    "SAGEConv",
+    "GCN",
+    "GAT",
+    "GraphSAGE",
+    "build_model",
+    "MODEL_REGISTRY",
+    "gcn_norm",
+    "left_norm",
+    "row_normalize_features",
+    "Trainer",
+    "TrainConfig",
+    "TrainResult",
+    "evaluate_accuracy",
+    "predict_probabilities",
+    "predict_labels",
+]

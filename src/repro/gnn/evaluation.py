@@ -1,0 +1,54 @@
+"""Model evaluation helpers (accuracy, probability extraction)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gnn.models import GNNModel
+from repro.graphs.graph import Graph
+from repro.nn.losses import accuracy
+
+
+def predict_probabilities(
+    model: GNNModel, graph: Graph, adjacency: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Softmax predictions of ``model`` on ``graph``.
+
+    ``adjacency`` overrides the graph structure (used when evaluating a model
+    that was fine-tuned on a perturbed graph but attacked through the original
+    query interface).
+    """
+    structure = graph.adjacency if adjacency is None else adjacency
+    return model.predict_proba(graph.features, structure)
+
+
+def predict_labels(
+    model: GNNModel, graph: Graph, adjacency: Optional[np.ndarray] = None
+) -> np.ndarray:
+    """Hard label predictions of ``model`` on ``graph``."""
+    structure = graph.adjacency if adjacency is None else adjacency
+    return model.predict_labels(graph.features, structure)
+
+
+def evaluate_accuracy(
+    model: GNNModel,
+    graph: Graph,
+    mask: Optional[np.ndarray] = None,
+    adjacency: Optional[np.ndarray] = None,
+) -> float:
+    """Accuracy of ``model`` on the nodes selected by ``mask``.
+
+    ``mask`` defaults to the graph's test mask.  Returns a percentage-free
+    fraction in ``[0, 1]``.
+    """
+    if graph.labels is None:
+        raise ValueError("graph has no labels to evaluate against")
+    if mask is None:
+        if graph.test_mask is None:
+            raise ValueError("no mask provided and the graph has no test mask")
+        mask = graph.test_mask
+    structure = graph.adjacency if adjacency is None else adjacency
+    logits = model.predict_logits(graph.features, structure)
+    return accuracy(logits[mask], graph.labels[mask])

@@ -1,0 +1,231 @@
+"""Victim GNN models: GCN, GAT and GraphSAGE.
+
+All models expose the same interface used by the trainer, the attacks and
+the influence-function machinery:
+
+``forward(features, adjacency) -> logits`` where ``features`` is an
+``(N, F)`` array/tensor, ``adjacency`` an ``(N, N)`` dense adjacency matrix
+and ``logits`` an ``(N, C)`` tensor.  Model outputs for the attacks and
+fairness metrics are the softmax probabilities of those logits.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.gnn.layers import GATConv, GCNConv, SAGEConv
+from repro.gnn.normalization import attention_mask, gcn_norm, mean_aggregation_matrix
+from repro.nn import functional as F
+from repro.nn.module import Dropout, Module
+from repro.nn.tensor import Tensor
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+
+ArrayOrTensor = Union[np.ndarray, Tensor]
+
+
+def _as_tensor(value: ArrayOrTensor) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+class GNNModel(Module):
+    """Common functionality shared by the three victim architectures."""
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def predict_logits(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+        """Inference-mode logits as a NumPy array."""
+        was_training = self.training
+        self.eval()
+        try:
+            from repro.nn.tensor import no_grad
+
+            with no_grad():
+                logits = self.forward(features, adjacency)
+        finally:
+            if was_training:
+                self.train()
+        return logits.data.copy()
+
+    def predict_proba(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+        """Inference-mode softmax probabilities (what the attacker queries)."""
+        logits = self.predict_logits(features, adjacency)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_labels(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+        """Inference-mode hard label predictions."""
+        return self.predict_logits(features, adjacency).argmax(axis=1)
+
+
+class GCN(GNNModel):
+    """Two-layer (by default) graph convolutional network."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        num_layers: int = 2,
+        dropout: float = 0.5,
+        rng: RandomState = None,
+    ) -> None:
+        super().__init__()
+        if num_layers < 1:
+            raise ValueError("num_layers must be at least 1")
+        generator = ensure_rng(rng)
+        child_rngs = spawn_children(generator, num_layers + 1)
+        self.num_layers = num_layers
+        dims = [in_features] + [hidden_features] * (num_layers - 1) + [num_classes]
+        for index in range(num_layers):
+            setattr(
+                self,
+                f"conv{index}",
+                GCNConv(dims[index], dims[index + 1], rng=child_rngs[index]),
+            )
+        self.dropout = Dropout(dropout, rng=child_rngs[-1])
+
+    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+        x = _as_tensor(features)
+        propagation = Tensor(gcn_norm(adjacency))
+        for index in range(self.num_layers):
+            layer: GCNConv = getattr(self, f"conv{index}")
+            x = layer(x, propagation)
+            if index < self.num_layers - 1:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+
+class GAT(GNNModel):
+    """Two-layer graph attention network."""
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        heads: int = 2,
+        dropout: float = 0.5,
+        rng: RandomState = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        rng_first, rng_second, rng_drop = spawn_children(generator, 3)
+        if hidden_features % heads != 0:
+            raise ValueError("hidden_features must be divisible by heads")
+        per_head = hidden_features // heads
+        self.conv0 = GATConv(
+            in_features, per_head, heads=heads, concat_heads=True, rng=rng_first
+        )
+        self.conv1 = GATConv(
+            hidden_features, num_classes, heads=1, concat_heads=False, rng=rng_second
+        )
+        self.dropout = Dropout(dropout, rng=rng_drop)
+
+    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+        x = _as_tensor(features)
+        mask = attention_mask(adjacency)
+        x = self.conv0(x, mask)
+        x = F.elu(x)
+        x = self.dropout(x)
+        return self.conv1(x, mask)
+
+
+class GraphSAGE(GNNModel):
+    """Two-layer GraphSAGE with mean aggregation and optional neighbour sampling.
+
+    When ``num_samples`` is set, each training forward pass averages over a
+    random subset of at most ``num_samples`` neighbours per node.  This
+    reproduces the sampling behaviour that, per the paper, blunts the effect
+    of edge-DP noise on GraphSAGE (only a fraction of noisy edges participate
+    in any given step).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int,
+        num_classes: int,
+        dropout: float = 0.5,
+        num_samples: Optional[int] = 10,
+        rng: RandomState = None,
+    ) -> None:
+        super().__init__()
+        generator = ensure_rng(rng)
+        rng_first, rng_second, rng_drop, rng_sample = spawn_children(generator, 4)
+        self.conv0 = SAGEConv(in_features, hidden_features, rng=rng_first)
+        self.conv1 = SAGEConv(hidden_features, num_classes, rng=rng_second)
+        self.dropout = Dropout(dropout, rng=rng_drop)
+        self.num_samples = num_samples
+        self._sample_rng = rng_sample
+
+    def _aggregation(self, adjacency: np.ndarray) -> np.ndarray:
+        if self.training and self.num_samples is not None:
+            adjacency = self._sample_neighbors(adjacency)
+        return mean_aggregation_matrix(adjacency, include_self=False)
+
+    def _sample_neighbors(self, adjacency: np.ndarray) -> np.ndarray:
+        sampled = np.zeros_like(adjacency)
+        for node in range(adjacency.shape[0]):
+            neighbors = np.nonzero(adjacency[node])[0]
+            if neighbors.size == 0:
+                continue
+            if neighbors.size > self.num_samples:
+                neighbors = self._sample_rng.choice(
+                    neighbors, size=self.num_samples, replace=False
+                )
+            sampled[node, neighbors] = 1.0
+        return sampled
+
+    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+        x = _as_tensor(features)
+        aggregation = Tensor(self._aggregation(adjacency))
+        x = self.conv0(x, aggregation)
+        x = F.relu(x)
+        x = F.normalize_rows(x)
+        x = self.dropout(x)
+        return self.conv1(x, aggregation)
+
+
+ModelFactory = Callable[..., GNNModel]
+
+MODEL_REGISTRY: Dict[str, ModelFactory] = {
+    "gcn": GCN,
+    "gat": GAT,
+    "graphsage": GraphSAGE,
+}
+
+
+def build_model(
+    name: str,
+    in_features: int,
+    num_classes: int,
+    hidden_features: int = 16,
+    rng: RandomState = None,
+    **kwargs,
+) -> GNNModel:
+    """Construct a registered model by name.
+
+    ``hidden_features`` defaults to 16, the hidden width used by the paper.
+    Extra keyword arguments are forwarded to the model constructor.
+    """
+    key = name.lower()
+    if key not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}"
+        )
+    factory = MODEL_REGISTRY[key]
+    return factory(
+        in_features=in_features,
+        hidden_features=hidden_features,
+        num_classes=num_classes,
+        rng=rng,
+        **kwargs,
+    )

@@ -1,0 +1,53 @@
+"""Adjacency and feature normalisation used by the GNN layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.laplacian import gcn_normalization
+from repro.utils.validation import check_adjacency
+
+
+def gcn_norm(adjacency: np.ndarray) -> np.ndarray:
+    """Symmetric GCN propagation matrix ``D̃^{-1/2}(A+I)D̃^{-1/2}``."""
+    return gcn_normalization(adjacency, mode="symmetric")
+
+
+def left_norm(adjacency: np.ndarray) -> np.ndarray:
+    """Left-normalised propagation ``D̃^{-1}(A+I)`` (paper's risk model)."""
+    return gcn_normalization(adjacency, mode="left")
+
+
+def mean_aggregation_matrix(adjacency: np.ndarray, include_self: bool = True) -> np.ndarray:
+    """Row-stochastic neighbourhood-mean operator used by GraphSAGE.
+
+    With ``include_self=False`` the matrix averages over neighbours only
+    (self information is concatenated separately by the SAGE layer).
+    Isolated nodes receive an all-zero row.
+    """
+    adjacency = check_adjacency(adjacency)
+    base = adjacency.copy()
+    if include_self:
+        base = base + np.eye(base.shape[0])
+    degrees = base.sum(axis=1, keepdims=True)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        result = np.where(degrees > 0, base / degrees, 0.0)
+    return result
+
+
+def attention_mask(adjacency: np.ndarray) -> np.ndarray:
+    """Boolean mask of *disallowed* attention positions for GAT.
+
+    Attention is restricted to first-order neighbours plus the node itself;
+    every other position is masked to ``-inf`` before the softmax.
+    """
+    adjacency = check_adjacency(adjacency)
+    allowed = (adjacency > 0) | np.eye(adjacency.shape[0], dtype=bool)
+    return ~allowed
+
+
+def row_normalize_features(features: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Row-normalise features to unit L1 norm (standard citation-net pre-processing)."""
+    features = np.asarray(features, dtype=np.float64)
+    norms = np.abs(features).sum(axis=1, keepdims=True)
+    return features / np.maximum(norms, eps)

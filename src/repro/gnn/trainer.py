@@ -1,0 +1,268 @@
+"""Training loop for the victim GNNs.
+
+The trainer supports the three training regimes required by the paper:
+
+* **vanilla training** — cross-entropy on the labelled nodes (phase one of
+  PPFR and the ``Vanilla`` baseline),
+* **regularised training** — cross-entropy plus any number of differentiable
+  regularisers such as the InFoRM fairness term (the ``Reg`` / ``DPReg``
+  baselines),
+* **fine-tuning** — continued training with per-sample loss weights
+  ``(1 + w_v)`` and/or a perturbed adjacency matrix (PPFR, DPFR).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.gnn.models import GNNModel
+from repro.graphs.graph import Graph
+from repro.nn.losses import accuracy, cross_entropy, weighted_cross_entropy
+from repro.nn.optim import Adam, Optimizer, SGD
+from repro.nn.tensor import Tensor
+
+Regularizer = Callable[[Tensor, Graph], Tensor]
+"""A differentiable penalty taking (logits, graph) and returning a scalar tensor."""
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of a training run."""
+
+    epochs: int = 200
+    learning_rate: float = 0.01
+    weight_decay: float = 5e-4
+    optimizer: str = "adam"
+    patience: Optional[int] = 30
+    min_epochs: int = 20
+    track_best: bool = True
+    verbose: bool = False
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0:
+            raise ValueError("epochs must be positive")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError("optimizer must be 'adam' or 'sgd'")
+        if self.patience is not None and self.patience <= 0:
+            raise ValueError("patience must be positive or None")
+
+
+@dataclass
+class TrainResult:
+    """Outcome of a training run."""
+
+    history: Dict[str, List[float]] = field(default_factory=dict)
+    best_val_accuracy: float = float("nan")
+    best_epoch: int = -1
+    final_train_accuracy: float = float("nan")
+    final_val_accuracy: float = float("nan")
+    epochs_run: int = 0
+
+
+class Trainer:
+    """Runs (re-)training of a GNN on a graph."""
+
+    def __init__(self, model: GNNModel, config: Optional[TrainConfig] = None) -> None:
+        self.model = model
+        self.config = config or TrainConfig()
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def fit(
+        self,
+        graph: Graph,
+        regularizers: Optional[Sequence[Regularizer]] = None,
+        sample_weights: Optional[np.ndarray] = None,
+        adjacency_override: Optional[np.ndarray] = None,
+        epochs: Optional[int] = None,
+    ) -> TrainResult:
+        """Train ``self.model`` on ``graph``.
+
+        Parameters
+        ----------
+        graph:
+            The attributed graph with at least a train mask and labels.
+        regularizers:
+            Optional differentiable penalties added to the loss (e.g. the
+            InFoRM fairness regulariser).
+        sample_weights:
+            Optional per-training-node multiplier ``(1 + w_v)`` in the order
+            of ``graph.train_indices()``; ``None`` means uniform weighting.
+        adjacency_override:
+            Optional replacement structure used for *training only* (the
+            perturbed graph of PPFR / DP baselines).  Evaluation metrics keep
+            using the structure passed here as well, since that is the model
+            the developer deploys.
+        epochs:
+            Optional override of ``config.epochs`` (used for fine-tuning where
+            the epoch budget is a fraction of vanilla training).
+        """
+        if graph.labels is None or graph.train_mask is None:
+            raise ValueError("training requires labels and a train mask")
+        config = self.config
+        total_epochs = epochs if epochs is not None else config.epochs
+        if total_epochs <= 0:
+            raise ValueError("epochs must be positive")
+        regularizers = list(regularizers or [])
+
+        train_idx = graph.train_indices()
+        if sample_weights is not None:
+            sample_weights = np.asarray(sample_weights, dtype=np.float64)
+            if sample_weights.shape != (train_idx.size,):
+                raise ValueError(
+                    f"sample_weights must have shape ({train_idx.size},), "
+                    f"got {sample_weights.shape}"
+                )
+            if np.any(sample_weights < 0):
+                raise ValueError("sample_weights must be non-negative")
+
+        adjacency = graph.adjacency if adjacency_override is None else np.asarray(
+            adjacency_override, dtype=np.float64
+        )
+
+        optimizer = self._build_optimizer()
+        history: Dict[str, List[float]] = {
+            "loss": [],
+            "train_accuracy": [],
+            "val_accuracy": [],
+        }
+        best_val = -np.inf
+        best_epoch = -1
+        best_state = None
+        epochs_without_improvement = 0
+        result = TrainResult(history=history)
+
+        for epoch in range(total_epochs):
+            loss_value = self._train_step(
+                graph, adjacency, train_idx, optimizer, regularizers, sample_weights
+            )
+            train_acc, val_acc = self._evaluate_epoch(graph, adjacency)
+            history["loss"].append(loss_value)
+            history["train_accuracy"].append(train_acc)
+            history["val_accuracy"].append(val_acc)
+            result.epochs_run = epoch + 1
+
+            if config.verbose and (epoch % 20 == 0 or epoch == total_epochs - 1):
+                print(
+                    f"[{graph.name}] epoch {epoch:4d} loss {loss_value:.4f} "
+                    f"train {train_acc:.3f} val {val_acc:.3f}"
+                )
+
+            improved = np.isfinite(val_acc) and val_acc > best_val
+            if improved:
+                best_val = val_acc
+                best_epoch = epoch
+                epochs_without_improvement = 0
+                if config.track_best:
+                    best_state = self.model.state_dict()
+            else:
+                epochs_without_improvement += 1
+
+            stop_allowed = config.patience is not None and epoch + 1 >= config.min_epochs
+            if stop_allowed and epochs_without_improvement >= config.patience:
+                break
+
+        if config.track_best and best_state is not None:
+            self.model.load_state_dict(best_state)
+
+        result.best_val_accuracy = float(best_val) if np.isfinite(best_val) else float("nan")
+        result.best_epoch = best_epoch
+        result.final_train_accuracy = history["train_accuracy"][-1]
+        result.final_val_accuracy = history["val_accuracy"][-1]
+        return result
+
+    def fine_tune(
+        self,
+        graph: Graph,
+        epochs: int,
+        sample_weights: Optional[np.ndarray] = None,
+        adjacency_override: Optional[np.ndarray] = None,
+        regularizers: Optional[Sequence[Regularizer]] = None,
+        learning_rate_scale: float = 1.0,
+    ) -> TrainResult:
+        """Continue training an already-trained model for ``epochs`` epochs.
+
+        Early stopping and best-state tracking are disabled: fine-tuning runs
+        for exactly the requested number of epochs, as in the paper where the
+        fine-tuning budget is ``e_re = s · e_va``.  ``learning_rate_scale``
+        multiplies the base learning rate; fine-tuning from a trained optimum
+        typically uses a smaller step size than vanilla training.
+        """
+        if learning_rate_scale <= 0:
+            raise ValueError("learning_rate_scale must be positive")
+        original_config = self.config
+        self.config = TrainConfig(
+            epochs=epochs,
+            learning_rate=original_config.learning_rate * learning_rate_scale,
+            weight_decay=original_config.weight_decay,
+            optimizer=original_config.optimizer,
+            patience=None,
+            min_epochs=0,
+            track_best=False,
+            verbose=original_config.verbose,
+        )
+        try:
+            return self.fit(
+                graph,
+                regularizers=regularizers,
+                sample_weights=sample_weights,
+                adjacency_override=adjacency_override,
+                epochs=epochs,
+            )
+        finally:
+            self.config = original_config
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_optimizer(self) -> Optimizer:
+        params = self.model.parameters()
+        if self.config.optimizer == "adam":
+            return Adam(
+                params,
+                lr=self.config.learning_rate,
+                weight_decay=self.config.weight_decay,
+            )
+        return SGD(
+            params,
+            lr=self.config.learning_rate,
+            weight_decay=self.config.weight_decay,
+            momentum=0.9,
+        )
+
+    def _train_step(
+        self,
+        graph: Graph,
+        adjacency: np.ndarray,
+        train_idx: np.ndarray,
+        optimizer: Optimizer,
+        regularizers: Sequence[Regularizer],
+        sample_weights: Optional[np.ndarray],
+    ) -> float:
+        self.model.train()
+        optimizer.zero_grad()
+        logits = self.model(graph.features, adjacency)
+        train_logits = logits[train_idx]
+        train_labels = graph.labels[train_idx]
+        if sample_weights is None:
+            loss = cross_entropy(train_logits, train_labels)
+        else:
+            loss = weighted_cross_entropy(train_logits, train_labels, sample_weights)
+        for regularizer in regularizers:
+            loss = loss + regularizer(logits, graph)
+        loss.backward()
+        optimizer.step()
+        return float(loss.item())
+
+    def _evaluate_epoch(self, graph: Graph, adjacency: np.ndarray) -> tuple[float, float]:
+        logits = self.model.predict_logits(graph.features, adjacency)
+        train_acc = accuracy(logits[graph.train_mask], graph.labels[graph.train_mask])
+        if graph.val_mask is not None and graph.val_mask.any():
+            val_acc = accuracy(logits[graph.val_mask], graph.labels[graph.val_mask])
+        else:
+            val_acc = float("nan")
+        return train_acc, val_acc

@@ -1,0 +1,59 @@
+"""Graph data structures, similarity matrices and random-graph generators.
+
+This subpackage is the graph substrate of the reproduction: it provides the
+:class:`Graph` container used throughout the library, the Jaccard similarity
+matrix and Laplacians that define individual fairness (Section III of the
+paper), k-hop node-pair utilities used by Lemma V.1 / Proposition V.2, the
+homophily and sparsity statistics the theory depends on, and stochastic
+block-model generators used to synthesise dataset surrogates.
+"""
+
+from repro.graphs.graph import Graph
+from repro.graphs.similarity import jaccard_similarity, cosine_feature_similarity
+from repro.graphs.laplacian import laplacian, normalized_laplacian
+from repro.graphs.khop import (
+    shortest_path_hops,
+    khop_pairs,
+    pair_hop_histogram,
+    two_hop_ratio_theoretical,
+)
+from repro.graphs.homophily import edge_homophily, class_linking_probabilities
+from repro.graphs.generators import (
+    stochastic_block_model,
+    planted_partition_graph,
+    sbm_probabilities_for_homophily,
+    gaussian_class_features,
+    binary_class_features,
+)
+from repro.graphs.perturb import (
+    add_edges,
+    remove_edges,
+    random_edge_flip,
+    heterophilic_candidates,
+)
+from repro.graphs.io import save_graph, load_graph
+
+__all__ = [
+    "Graph",
+    "jaccard_similarity",
+    "cosine_feature_similarity",
+    "laplacian",
+    "normalized_laplacian",
+    "shortest_path_hops",
+    "khop_pairs",
+    "pair_hop_histogram",
+    "two_hop_ratio_theoretical",
+    "edge_homophily",
+    "class_linking_probabilities",
+    "stochastic_block_model",
+    "planted_partition_graph",
+    "sbm_probabilities_for_homophily",
+    "gaussian_class_features",
+    "binary_class_features",
+    "add_edges",
+    "remove_edges",
+    "random_edge_flip",
+    "heterophilic_candidates",
+    "save_graph",
+    "load_graph",
+]

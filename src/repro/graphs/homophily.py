@@ -1,0 +1,81 @@
+"""Homophily and class-linking statistics.
+
+The trade-off analysed in the paper holds on *homophilous, sparse* graphs
+(``p > q``, ``1 - p ≫ p``).  Table V investigates weak-homophily graphs, so
+the dataset surrogates are calibrated by their edge homophily value; these
+helpers measure and invert that calibration.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_adjacency, check_labels
+
+
+def edge_homophily(adjacency: np.ndarray, labels: np.ndarray) -> float:
+    """Fraction of edges whose endpoints share a label.
+
+    This is the homophily measure quoted in the paper (0.81 for Cora, 0.74 for
+    Citeseer, 0.80 for Pubmed, 0.66 for Enzymes, 0.62 for Credit).
+    """
+    adjacency = check_adjacency(adjacency)
+    labels = check_labels(labels, num_nodes=adjacency.shape[0])
+    rows, cols = np.nonzero(np.triu(adjacency, k=1))
+    if rows.size == 0:
+        return 0.0
+    same = labels[rows] == labels[cols]
+    return float(same.mean())
+
+
+def node_homophily(adjacency: np.ndarray, labels: np.ndarray) -> float:
+    """Average over nodes of the fraction of same-label neighbours."""
+    adjacency = check_adjacency(adjacency)
+    labels = check_labels(labels, num_nodes=adjacency.shape[0])
+    fractions = []
+    for node in range(adjacency.shape[0]):
+        neighbors = np.nonzero(adjacency[node])[0]
+        if neighbors.size == 0:
+            continue
+        fractions.append(float((labels[neighbors] == labels[node]).mean()))
+    if not fractions:
+        return 0.0
+    return float(np.mean(fractions))
+
+
+def class_linking_probabilities(
+    adjacency: np.ndarray, labels: np.ndarray
+) -> Tuple[float, float]:
+    """Estimate the intra-class ``p`` and inter-class ``q`` linking probabilities.
+
+    These are the SBM parameters of the paper's theoretical model: ``p`` is
+    the probability that two same-class nodes are connected, ``q`` the
+    probability for different-class nodes.
+    """
+    adjacency = check_adjacency(adjacency)
+    labels = check_labels(labels, num_nodes=adjacency.shape[0])
+    n = adjacency.shape[0]
+    same_class = labels[:, None] == labels[None, :]
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    intra_pairs = int(np.count_nonzero(same_class & upper))
+    inter_pairs = int(np.count_nonzero(~same_class & upper))
+    edges = adjacency > 0
+    intra_edges = int(np.count_nonzero(edges & same_class & upper))
+    inter_edges = int(np.count_nonzero(edges & ~same_class & upper))
+    p = intra_edges / intra_pairs if intra_pairs else 0.0
+    q = inter_edges / inter_pairs if inter_pairs else 0.0
+    return float(p), float(q)
+
+
+def is_sparse_and_homophilous(
+    adjacency: np.ndarray, labels: np.ndarray, sparsity_margin: float = 10.0
+) -> bool:
+    """Check the assumptions of Proposition V.2: ``p > q`` and ``1 - p ≫ p``.
+
+    ``sparsity_margin`` quantifies "≫": the non-edge probability must exceed
+    ``sparsity_margin`` times the intra-class edge probability.
+    """
+    p, q = class_linking_probabilities(adjacency, labels)
+    return p > q and (1.0 - p) > sparsity_margin * p

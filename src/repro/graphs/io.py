@@ -1,0 +1,58 @@
+"""Saving and loading :class:`repro.graphs.Graph` objects as ``.npz`` archives.
+
+Surrogate graphs are cheap to regenerate from a seed, but persisting the exact
+graph used in a run makes experiment artefacts self-contained (e.g. to attach
+the attacked graph to an audit report).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+
+def save_graph(graph: Graph, path: str) -> None:
+    """Write ``graph`` to ``path`` as a compressed NumPy archive.
+
+    Metadata is stored as JSON; non-serialisable entries (e.g. the generating
+    :class:`DatasetSpec`) are stringified.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    arrays = {
+        "adjacency": graph.adjacency,
+        "features": graph.features,
+        "name": np.array(graph.name),
+        "metadata_json": np.array(json.dumps(graph.metadata, default=str)),
+    }
+    for key in ("labels", "train_mask", "val_mask", "test_mask"):
+        value = getattr(graph, key)
+        if value is not None:
+            arrays[key] = value
+    np.savez_compressed(path, **arrays)
+
+
+def load_graph(path: str) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as archive:
+        def optional(key):
+            return archive[key].copy() if key in archive.files else None
+
+        metadata = {}
+        if "metadata_json" in archive.files:
+            metadata = json.loads(str(archive["metadata_json"]))
+        return Graph(
+            adjacency=archive["adjacency"].copy(),
+            features=archive["features"].copy(),
+            labels=optional("labels"),
+            train_mask=optional("train_mask"),
+            val_mask=optional("val_mask"),
+            test_mask=optional("test_mask"),
+            name=str(archive["name"]) if "name" in archive.files else "graph",
+            metadata=metadata,
+        )

@@ -1,0 +1,51 @@
+"""Graph Laplacians.
+
+``Bias(Y, S) = Tr(Yᵀ L_S Y)`` (Definition 1 of the paper) uses the Laplacian
+of the *similarity* matrix; GCN propagation uses symmetric / left-normalised
+adjacency with self-loops.  Both live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import check_adjacency
+
+
+def laplacian(weights: np.ndarray) -> np.ndarray:
+    """Combinatorial Laplacian ``L = D - W`` of a weighted symmetric matrix."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError("weights must be a square matrix")
+    degree = np.diag(weights.sum(axis=1))
+    return degree - weights
+
+
+def normalized_laplacian(weights: np.ndarray, eps: float = 1e-12) -> np.ndarray:
+    """Symmetric normalised Laplacian ``I - D^{-1/2} W D^{-1/2}``."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.ndim != 2 or weights.shape[0] != weights.shape[1]:
+        raise ValueError("weights must be a square matrix")
+    degrees = weights.sum(axis=1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, eps))
+    inv_sqrt[degrees <= 0] = 0.0
+    normalized = weights * inv_sqrt[:, None] * inv_sqrt[None, :]
+    return np.eye(weights.shape[0]) - normalized
+
+
+def gcn_normalization(adjacency: np.ndarray, mode: str = "symmetric") -> np.ndarray:
+    """GCN propagation matrix ``Â`` with self-loops.
+
+    ``mode="symmetric"`` gives ``D̃^{-1/2}(A+I)D̃^{-1/2}`` (Kipf & Welling);
+    ``mode="left"`` gives ``D̃^{-1}(A+I)``, the variant used in the paper's
+    embedding-space risk model (Section VI-B2).
+    """
+    adjacency = check_adjacency(adjacency)
+    with_loops = adjacency + np.eye(adjacency.shape[0])
+    degrees = with_loops.sum(axis=1)
+    if mode == "symmetric":
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+        return with_loops * inv_sqrt[:, None] * inv_sqrt[None, :]
+    if mode == "left":
+        return with_loops / degrees[:, None]
+    raise ValueError(f"unknown normalisation mode {mode!r}")

@@ -1,0 +1,104 @@
+"""Graph-structure perturbation primitives.
+
+Both the edge differential-privacy baselines (EdgeRand / LapGraph) and the
+paper's privacy-aware perturbation module (Section VI-B2) modify the
+adjacency matrix.  The low-level, method-agnostic edit operations live here;
+the method-specific policies live in :mod:`repro.privacy.dp` and
+:mod:`repro.core.perturbation`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_adjacency
+
+
+def _validate_pairs(pairs: np.ndarray, num_nodes: int) -> np.ndarray:
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return pairs.reshape(0, 2)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (M, 2)")
+    if pairs.min() < 0 or pairs.max() >= num_nodes:
+        raise ValueError("pair indices out of range")
+    if np.any(pairs[:, 0] == pairs[:, 1]):
+        raise ValueError("self-loops are not allowed")
+    return pairs
+
+
+def add_edges(adjacency: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Return a copy of ``adjacency`` with the given undirected edges added."""
+    adjacency = check_adjacency(adjacency).copy()
+    pairs = _validate_pairs(pairs, adjacency.shape[0])
+    for i, j in pairs:
+        adjacency[i, j] = 1.0
+        adjacency[j, i] = 1.0
+    return adjacency
+
+
+def remove_edges(adjacency: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Return a copy of ``adjacency`` with the given undirected edges removed."""
+    adjacency = check_adjacency(adjacency).copy()
+    pairs = _validate_pairs(pairs, adjacency.shape[0])
+    for i, j in pairs:
+        adjacency[i, j] = 0.0
+        adjacency[j, i] = 0.0
+    return adjacency
+
+
+def random_edge_flip(
+    adjacency: np.ndarray, flip_probability: float, rng: RandomState = None
+) -> np.ndarray:
+    """Flip each potential edge independently with ``flip_probability``.
+
+    This is the randomised-response primitive underlying EdgeRand.
+    """
+    if not 0.0 <= flip_probability <= 1.0:
+        raise ValueError("flip_probability must lie in [0, 1]")
+    adjacency = check_adjacency(adjacency)
+    generator = ensure_rng(rng)
+    n = adjacency.shape[0]
+    flips = np.triu(generator.random((n, n)) < flip_probability, k=1)
+    upper = np.triu(adjacency > 0, k=1)
+    flipped = np.logical_xor(upper, flips)
+    result = (flipped | flipped.T).astype(np.float64)
+    np.fill_diagonal(result, 0.0)
+    return result
+
+
+def heterophilic_candidates(
+    adjacency: np.ndarray,
+    predicted_labels: np.ndarray,
+    node: int,
+) -> np.ndarray:
+    """Unconnected nodes whose *predicted* label differs from ``node``'s.
+
+    This is the candidate pool of the paper's privacy-aware perturbation: for
+    each node the method samples new "noisy" neighbours from the set of
+    currently unconnected nodes predicted to belong to a different class.
+    """
+    adjacency = check_adjacency(adjacency)
+    predicted_labels = np.asarray(predicted_labels, dtype=np.int64)
+    n = adjacency.shape[0]
+    if predicted_labels.shape != (n,):
+        raise ValueError("predicted_labels must have one entry per node")
+    if not 0 <= node < n:
+        raise IndexError(f"node {node} out of range")
+    unconnected = adjacency[node] == 0
+    unconnected[node] = False
+    different_label = predicted_labels != predicted_labels[node]
+    return np.nonzero(unconnected & different_label)[0]
+
+
+def symmetric_difference(first: np.ndarray, second: np.ndarray) -> int:
+    """Number of undirected edges present in exactly one of two adjacencies."""
+    first = check_adjacency(first)
+    second = check_adjacency(second)
+    if first.shape != second.shape:
+        raise ValueError("adjacency matrices must have the same shape")
+    diff = np.triu((first > 0) != (second > 0), k=1)
+    return int(np.count_nonzero(diff))

@@ -1,0 +1,47 @@
+"""Influence functions on GNN training nodes (Section VI-A of the paper).
+
+The fairness-aware reweighting module needs, for every labelled node ``v``,
+the first-order effect of down-weighting ``v`` on
+
+* the model utility (training loss)  — ``I_futil(w_v)``,
+* the prediction bias ``f_bias``      — ``I_fbias(w_v)``,
+* the edge privacy risk ``f_risk``    — ``I_frisk(w_v)``,
+
+computed as ``I_f(w_v) = −∇_θ f(θ*)ᵀ H⁻¹ ∇_θ L(v; θ*)`` (Eqs. 8–12).  This
+subpackage provides per-node loss gradients, Hessian-vector products, a
+conjugate-gradient ``H⁻¹v`` solver, a dense Hessian for small models (used by
+tests), and the Pearson-correlation analysis behind Table II.
+"""
+
+from repro.influence.gradients import (
+    training_loss_gradient,
+    per_node_loss_gradients,
+    function_gradient,
+    bias_gradient,
+    risk_gradient,
+)
+from repro.influence.hessian import (
+    hessian_vector_product,
+    conjugate_gradient_solve,
+    dense_hessian,
+    inverse_hvp,
+)
+from repro.influence.functions import InfluenceEstimator, InfluenceConfig, InfluenceScores
+from repro.influence.correlation import pearson_correlation, influence_correlation_table
+
+__all__ = [
+    "training_loss_gradient",
+    "per_node_loss_gradients",
+    "function_gradient",
+    "bias_gradient",
+    "risk_gradient",
+    "hessian_vector_product",
+    "conjugate_gradient_solve",
+    "dense_hessian",
+    "inverse_hvp",
+    "InfluenceEstimator",
+    "InfluenceConfig",
+    "InfluenceScores",
+    "pearson_correlation",
+    "influence_correlation_table",
+]

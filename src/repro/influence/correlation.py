@@ -1,0 +1,59 @@
+"""Correlation analysis between fairness and privacy influences (Table II).
+
+The paper motivates its design by showing that the Pearson correlation
+between ``I_fbias`` and ``I_frisk`` over training nodes is weak or negative
+(|r| < 0.3 counts as "inconformity"), which is why PPFR handles privacy in
+the *data space* (edge perturbation) rather than the *weight space* (QCLP).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def pearson_correlation(first: np.ndarray, second: np.ndarray) -> float:
+    """Pearson correlation coefficient between two influence vectors."""
+    first = np.asarray(first, dtype=np.float64)
+    second = np.asarray(second, dtype=np.float64)
+    if first.shape != second.shape:
+        raise ValueError("influence vectors must have the same shape")
+    if first.size < 2:
+        raise ValueError("need at least two samples for a correlation")
+    first_std = first.std()
+    second_std = second.std()
+    if first_std == 0 or second_std == 0:
+        return 0.0
+    centered_first = first - first.mean()
+    centered_second = second - second.mean()
+    return float((centered_first @ centered_second) / (first.size * first_std * second_std))
+
+
+def influence_correlation_table(
+    influences: Dict[str, Dict[str, np.ndarray]]
+) -> Dict[str, Dict[str, float]]:
+    """Build a Table-II-style nested mapping ``dataset -> model -> r``.
+
+    ``influences[dataset][model]`` must contain a dict with ``"bias"`` and
+    ``"risk"`` influence vectors (e.g. from
+    :meth:`repro.influence.InfluenceEstimator.compute_all`).
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for dataset, per_model in influences.items():
+        table[dataset] = {}
+        for model_name, vectors in per_model.items():
+            table[dataset][model_name] = pearson_correlation(
+                vectors["bias"], vectors["risk"]
+            )
+    return table
+
+
+def is_conforming(correlation: float, threshold: float = 0.3) -> bool:
+    """Whether two influence directions agree strongly enough to share weights.
+
+    The paper treats ``r < 0.3`` as inconformity (citing the standard
+    correlation-strength guideline), justifying why ``I_frisk`` is *not* added
+    to the QCLP.
+    """
+    return correlation >= threshold

@@ -1,0 +1,162 @@
+"""Hessian-vector products and ``H⁻¹v`` solvers.
+
+The influence formula needs ``H⁻¹ ∇_θ f`` where ``H`` is the Hessian of the
+mean training loss at the trained parameters.  Three tools are provided:
+
+* :func:`hessian_vector_product` — central finite difference of the loss
+  gradient, which avoids second-order autodiff,
+* :func:`conjugate_gradient_solve` — damped CG solver using only HVPs (the
+  scalable path used in the experiments, following Koh & Liang 2017),
+* :func:`dense_hessian` — explicit Hessian for small models, used by tests to
+  validate the CG estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.gnn.models import GNNModel
+from repro.graphs.graph import Graph
+from repro.influence.gradients import training_loss_gradient
+from repro.nn.parameters import parameters_to_vector, vector_to_parameters
+
+GradientFunction = Callable[[np.ndarray], np.ndarray]
+"""Maps a parameter vector θ to the gradient ∇_θ L(θ) as a flat vector."""
+
+
+def make_loss_gradient_function(
+    model: GNNModel,
+    graph: Graph,
+    indices: Optional[np.ndarray] = None,
+    adjacency: Optional[np.ndarray] = None,
+) -> GradientFunction:
+    """Return ``θ ↦ ∇_θ L(θ)`` for the mean training loss of ``model``.
+
+    The function temporarily writes θ into the model, evaluates the gradient
+    and restores the original parameters, so it is side-effect free.
+    """
+    original = parameters_to_vector(model.parameters())
+
+    def gradient_at(theta: np.ndarray) -> np.ndarray:
+        vector_to_parameters(theta, model.parameters())
+        try:
+            return training_loss_gradient(model, graph, indices=indices, adjacency=adjacency)
+        finally:
+            vector_to_parameters(original, model.parameters())
+
+    return gradient_at
+
+
+def hessian_vector_product(
+    gradient_function: GradientFunction,
+    theta: np.ndarray,
+    vector: np.ndarray,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Central-difference Hessian-vector product ``H(θ) v``.
+
+    ``H v ≈ (∇L(θ + εv̂) − ∇L(θ − εv̂)) / (2ε)`` with the perturbation scaled
+    to the norm of ``v`` for numerical stability.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64)
+    norm = np.linalg.norm(vector)
+    if norm == 0:
+        return np.zeros_like(vector)
+    unit = vector / norm
+    step = eps
+    plus = gradient_function(theta + step * unit)
+    minus = gradient_function(theta - step * unit)
+    return (plus - minus) / (2.0 * step) * norm
+
+
+def conjugate_gradient_solve(
+    hvp: Callable[[np.ndarray], np.ndarray],
+    rhs: np.ndarray,
+    damping: float = 0.01,
+    max_iterations: int = 100,
+    tolerance: float = 1e-6,
+) -> np.ndarray:
+    """Solve ``(H + damping·I) x = rhs`` with conjugate gradients.
+
+    ``damping`` regularises the (possibly indefinite at a non-exact optimum)
+    Hessian, the standard practice for influence functions on neural models.
+    """
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if damping < 0:
+        raise ValueError("damping must be non-negative")
+
+    def operator(x: np.ndarray) -> np.ndarray:
+        return hvp(x) + damping * x
+
+    x = np.zeros_like(rhs)
+    residual = rhs - operator(x)
+    direction = residual.copy()
+    residual_norm_sq = float(residual @ residual)
+    threshold = tolerance * max(float(np.linalg.norm(rhs)), 1e-12)
+
+    for _ in range(max_iterations):
+        if np.sqrt(residual_norm_sq) <= threshold:
+            break
+        candidate = operator(direction)
+        curvature = float(direction @ candidate)
+        if curvature <= 0:
+            # Negative curvature: stop with the current (damped) solution, as
+            # recommended for truncated-Newton style solvers.
+            break
+        alpha = residual_norm_sq / curvature
+        x = x + alpha * direction
+        residual = residual - alpha * candidate
+        new_norm_sq = float(residual @ residual)
+        direction = residual + (new_norm_sq / residual_norm_sq) * direction
+        residual_norm_sq = new_norm_sq
+    return x
+
+
+def inverse_hvp(
+    model: GNNModel,
+    graph: Graph,
+    vector: np.ndarray,
+    indices: Optional[np.ndarray] = None,
+    adjacency: Optional[np.ndarray] = None,
+    damping: float = 0.01,
+    max_iterations: int = 50,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Compute ``(H + damping I)⁻¹ vector`` for the model's training loss."""
+    gradient_function = make_loss_gradient_function(
+        model, graph, indices=indices, adjacency=adjacency
+    )
+    theta = parameters_to_vector(model.parameters())
+
+    def hvp(v: np.ndarray) -> np.ndarray:
+        return hessian_vector_product(gradient_function, theta, v, eps=eps)
+
+    return conjugate_gradient_solve(
+        hvp, vector, damping=damping, max_iterations=max_iterations
+    )
+
+
+def dense_hessian(
+    gradient_function: GradientFunction,
+    theta: np.ndarray,
+    eps: float = 1e-4,
+) -> np.ndarray:
+    """Explicit Hessian via finite differences of the gradient.
+
+    Cost is one gradient evaluation per parameter — only suitable for the
+    small models used in unit tests.
+    """
+    theta = np.asarray(theta, dtype=np.float64)
+    dim = theta.shape[0]
+    hessian = np.zeros((dim, dim))
+    for index in range(dim):
+        direction = np.zeros(dim)
+        direction[index] = 1.0
+        plus = gradient_function(theta + eps * direction)
+        minus = gradient_function(theta - eps * direction)
+        hessian[:, index] = (plus - minus) / (2.0 * eps)
+    # Symmetrise to remove finite-difference noise.
+    return 0.5 * (hessian + hessian.T)

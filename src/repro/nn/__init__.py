@@ -1,0 +1,49 @@
+"""A small NumPy reverse-mode automatic-differentiation substrate.
+
+The paper's experiments require training graph neural networks, computing
+per-node loss gradients and Hessian-vector products for influence functions.
+Since the reproduction environment provides no deep-learning framework, this
+subpackage implements the required substrate from scratch:
+
+* :class:`repro.nn.Tensor` — dense tensors with reverse-mode autodiff,
+* :mod:`repro.nn.functional` — activations, softmax, losses,
+* :class:`repro.nn.Module`, :class:`repro.nn.Linear` — layer abstractions,
+* :mod:`repro.nn.optim` — SGD and Adam optimisers,
+* :mod:`repro.nn.parameters` — flat-vector views used by influence functions.
+"""
+
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn import functional
+from repro.nn.module import Module, Linear, Dropout, Sequential, ModuleList, Parameter
+from repro.nn import init
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.losses import cross_entropy, weighted_cross_entropy, mse_loss
+from repro.nn.parameters import (
+    parameters_to_vector,
+    vector_to_parameters,
+    gradients_to_vector,
+    zero_gradients,
+)
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "functional",
+    "Module",
+    "Linear",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Parameter",
+    "init",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "cross_entropy",
+    "weighted_cross_entropy",
+    "mse_loss",
+    "parameters_to_vector",
+    "vector_to_parameters",
+    "gradients_to_vector",
+    "zero_gradients",
+]

@@ -1,0 +1,62 @@
+"""Weight initialisation schemes.
+
+All functions take an explicit generator so the whole training pipeline stays
+reproducible from a single root seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RandomState, ensure_rng
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (typically used for biases)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def uniform(
+    shape: Tuple[int, ...], low: float = -0.1, high: float = 0.1, rng: RandomState = None
+) -> np.ndarray:
+    """Uniform initialisation in ``[low, high)``."""
+    generator = ensure_rng(rng)
+    return generator.uniform(low, high, size=shape)
+
+
+def glorot_uniform(shape: Tuple[int, ...], rng: RandomState = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot / Xavier uniform initialisation.
+
+    This is the scheme used by the reference GCN and GAT implementations.
+    """
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape))
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    limit = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    generator = ensure_rng(rng)
+    return generator.uniform(-limit, limit, size=shape)
+
+
+def glorot_normal(shape: Tuple[int, ...], rng: RandomState = None, gain: float = 1.0) -> np.ndarray:
+    """Glorot / Xavier normal initialisation."""
+    if len(shape) < 2:
+        fan_in = fan_out = int(np.prod(shape))
+    else:
+        fan_in, fan_out = shape[0], shape[1]
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    generator = ensure_rng(rng)
+    return generator.normal(0.0, std, size=shape)
+
+
+def kaiming_uniform(
+    shape: Tuple[int, ...], rng: RandomState = None, nonlinearity: str = "relu"
+) -> np.ndarray:
+    """He / Kaiming uniform initialisation for ReLU networks."""
+    fan_in = shape[0] if len(shape) >= 1 else 1
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    limit = gain * np.sqrt(3.0 / max(fan_in, 1))
+    generator = ensure_rng(rng)
+    return generator.uniform(-limit, limit, size=shape)

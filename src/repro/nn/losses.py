@@ -1,0 +1,103 @@
+"""Loss functions.
+
+The paper trains node classifiers with cross-entropy and, crucially for the
+fairness-aware reweighting module, with a *per-sample weighted* cross-entropy
+(Eq. 7 of the paper).  Both are provided here on top of the autodiff tensors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.nn.functional import one_hot
+from repro.nn.tensor import Tensor
+
+
+def _prepare_targets(logits: Tensor, targets: np.ndarray) -> np.ndarray:
+    targets = np.asarray(targets, dtype=np.int64)
+    if targets.ndim != 1:
+        raise ValueError("targets must be a 1-D array of class indices")
+    if targets.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"targets has {targets.shape[0]} entries but logits has {logits.shape[0]} rows"
+        )
+    num_classes = logits.shape[1]
+    if targets.size and (targets.min() < 0 or targets.max() >= num_classes):
+        raise ValueError("target class index out of range")
+    return targets
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, reduction: str = "mean"
+) -> Tensor:
+    """Softmax cross-entropy between ``logits`` and integer ``targets``.
+
+    Parameters
+    ----------
+    logits:
+        ``(N, C)`` tensor of unnormalised scores.
+    targets:
+        ``(N,)`` integer array of class indices.
+    reduction:
+        ``"mean"``, ``"sum"`` or ``"none"``.
+    """
+    targets = _prepare_targets(logits, targets)
+    log_probs = logits.log_softmax(axis=1)
+    mask = Tensor(one_hot(targets, logits.shape[1]))
+    per_sample = -(log_probs * mask).sum(axis=1)
+    if reduction == "none":
+        return per_sample
+    if reduction == "sum":
+        return per_sample.sum()
+    if reduction == "mean":
+        return per_sample.mean()
+    raise ValueError(f"unknown reduction {reduction!r}")
+
+
+def weighted_cross_entropy(
+    logits: Tensor,
+    targets: np.ndarray,
+    weights: Union[np.ndarray, Tensor],
+    normalize: bool = True,
+) -> Tensor:
+    """Per-sample weighted cross-entropy, Eq. (7) of the paper.
+
+    ``weights`` holds the multiplier ``(1 + w_v)`` for each training node.
+    When ``normalize`` is True the result is divided by the number of samples
+    (not the weight sum), matching the fine-tuning loss used by PPFR where a
+    weight of zero removes a node from training without rescaling the others.
+    """
+    per_sample = cross_entropy(logits, targets, reduction="none")
+    weight_arr = weights.data if isinstance(weights, Tensor) else np.asarray(weights, dtype=np.float64)
+    if weight_arr.shape != (logits.shape[0],):
+        raise ValueError(
+            f"weights must have shape ({logits.shape[0]},), got {weight_arr.shape}"
+        )
+    if np.any(weight_arr < 0):
+        raise ValueError("per-sample weights must be non-negative")
+    weighted = per_sample * Tensor(weight_arr)
+    total = weighted.sum()
+    if normalize:
+        return total * (1.0 / logits.shape[0])
+    return total
+
+
+def mse_loss(predictions: Tensor, targets: Union[np.ndarray, Tensor]) -> Tensor:
+    """Mean squared error (used by auxiliary regression tests)."""
+    target_tensor = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = predictions - target_tensor
+    return (diff * diff).mean()
+
+
+def accuracy(logits: Union[Tensor, np.ndarray], targets: np.ndarray) -> float:
+    """Classification accuracy of ``argmax(logits)`` against ``targets``."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    targets = np.asarray(targets, dtype=np.int64)
+    if scores.shape[0] != targets.shape[0]:
+        raise ValueError("logits and targets disagree on the number of samples")
+    if targets.size == 0:
+        return float("nan")
+    predictions = scores.argmax(axis=1)
+    return float((predictions == targets).mean())

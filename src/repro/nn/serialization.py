@@ -1,0 +1,31 @@
+"""Saving and loading model parameters with NumPy ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from repro.nn.module import Module
+
+
+def save_state_dict(module: Module, path: str) -> None:
+    """Write ``module.state_dict()`` to ``path`` as a compressed archive."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state_dict(path: str) -> Dict[str, np.ndarray]:
+    """Load a state dict previously written by :func:`save_state_dict`."""
+    with np.load(path) as archive:
+        return {key: archive[key].copy() for key in archive.files}
+
+
+def load_into(module: Module, path: str) -> Module:
+    """Load parameters from ``path`` into ``module`` and return it."""
+    module.load_state_dict(load_state_dict(path))
+    return module

@@ -1,0 +1,12 @@
+"""Constrained optimisation utilities (QCLP solver replacing Gurobi)."""
+
+from repro.optimization.qclp import QCLPProblem, QCLPSolution, solve_qclp
+from repro.optimization.projections import project_onto_box, project_onto_ball
+
+__all__ = [
+    "QCLPProblem",
+    "QCLPSolution",
+    "solve_qclp",
+    "project_onto_box",
+    "project_onto_ball",
+]

@@ -1,0 +1,32 @@
+"""Euclidean projections used by the projected-gradient QCLP solver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project_onto_box(x: np.ndarray, low: float, high: float) -> np.ndarray:
+    """Project ``x`` onto the box ``[low, high]^n``."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    return np.clip(x, low, high)
+
+
+def project_onto_ball(x: np.ndarray, radius: float) -> np.ndarray:
+    """Project ``x`` onto the Euclidean ball of the given ``radius``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    norm = float(np.linalg.norm(x))
+    if norm <= radius or norm == 0.0:
+        return x.copy()
+    return x * (radius / norm)
+
+
+def project_onto_halfspace(x: np.ndarray, normal: np.ndarray, offset: float) -> np.ndarray:
+    """Project ``x`` onto ``{z : normal·z ≤ offset}``."""
+    normal = np.asarray(normal, dtype=np.float64)
+    norm_sq = float(normal @ normal)
+    violation = float(normal @ x) - offset
+    if violation <= 0 or norm_sq == 0:
+        return x.copy()
+    return x - (violation / norm_sq) * normal

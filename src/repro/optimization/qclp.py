@@ -1,0 +1,205 @@
+"""Quadratically Constrained Linear Programming (Eq. 13 of the paper).
+
+The fairness-aware reweighting solves
+
+    minimise    cᵀ w                      (total bias influence)
+    subject to  ‖w‖² ≤ α·|V_l|            (re-weighting budget)
+                uᵀ w ≤ β·Σ max(u, 0)      (limited utility cost)
+                −1 ≤ w_v ≤ 1              (box)
+
+where ``c = I_fbias`` and ``u = I_futil`` are the per-node influence vectors.
+The paper uses Gurobi; this module provides two Gurobi-free backends that
+agree within tolerance on this small convex problem:
+
+* ``"slsqp"`` — SciPy's sequential least-squares programming,
+* ``"projected"`` — projected gradient descent with alternating projections
+  onto the box, ball and half-space constraints (dependency-free fallback and
+  cross-check used by the tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy import optimize
+
+from repro.optimization.projections import (
+    project_onto_ball,
+    project_onto_box,
+    project_onto_halfspace,
+)
+
+
+@dataclass
+class QCLPProblem:
+    """Problem data for the fairness-aware reweighting QCLP."""
+
+    bias_influence: np.ndarray
+    utility_influence: np.ndarray
+    alpha: float = 0.9
+    beta: float = 0.1
+    lower: float = -1.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        self.bias_influence = np.asarray(self.bias_influence, dtype=np.float64)
+        self.utility_influence = np.asarray(self.utility_influence, dtype=np.float64)
+        if self.bias_influence.ndim != 1:
+            raise ValueError("bias_influence must be a vector")
+        if self.bias_influence.shape != self.utility_influence.shape:
+            raise ValueError("bias and utility influence vectors must align")
+        if self.alpha <= 0:
+            raise ValueError("alpha must be positive")
+        if self.beta < 0:
+            raise ValueError("beta must be non-negative")
+        if self.lower > self.upper:
+            raise ValueError("lower bound exceeds upper bound")
+
+    @property
+    def size(self) -> int:
+        return int(self.bias_influence.shape[0])
+
+    @property
+    def ball_radius_squared(self) -> float:
+        """Right-hand side of the quadratic constraint, ``α·|V_l|``."""
+        return float(self.alpha * self.size)
+
+    @property
+    def utility_budget(self) -> float:
+        """Right-hand side of the utility constraint, ``β·Σ max(u, 0)``."""
+        positive = np.maximum(self.utility_influence, 0.0)
+        return float(self.beta * positive.sum())
+
+
+@dataclass
+class QCLPSolution:
+    """Result of a QCLP solve."""
+
+    weights: np.ndarray
+    objective: float
+    feasible: bool
+    backend: str
+    iterations: int = 0
+
+    def summary(self) -> dict:
+        return {
+            "objective": self.objective,
+            "feasible": self.feasible,
+            "backend": self.backend,
+            "weight_norm": float(np.linalg.norm(self.weights)),
+            "min_weight": float(self.weights.min()) if self.weights.size else 0.0,
+            "max_weight": float(self.weights.max()) if self.weights.size else 0.0,
+        }
+
+
+def _is_feasible(problem: QCLPProblem, weights: np.ndarray, tol: float = 1e-6) -> bool:
+    ball_ok = float(weights @ weights) <= problem.ball_radius_squared * (1 + tol) + tol
+    utility_ok = float(problem.utility_influence @ weights) <= problem.utility_budget + tol
+    box_ok = bool(
+        np.all(weights >= problem.lower - tol) and np.all(weights <= problem.upper + tol)
+    )
+    return ball_ok and utility_ok and box_ok
+
+
+def _solve_slsqp(problem: QCLPProblem, max_iterations: int) -> QCLPSolution:
+    c = problem.bias_influence
+    u = problem.utility_influence
+
+    constraints = [
+        {
+            "type": "ineq",
+            "fun": lambda w: problem.ball_radius_squared - float(w @ w),
+            "jac": lambda w: -2.0 * w,
+        },
+        {
+            "type": "ineq",
+            "fun": lambda w: problem.utility_budget - float(u @ w),
+            "jac": lambda w: -u,
+        },
+    ]
+    bounds = [(problem.lower, problem.upper)] * problem.size
+    result = optimize.minimize(
+        fun=lambda w: float(c @ w),
+        x0=np.zeros(problem.size),
+        jac=lambda w: c,
+        bounds=bounds,
+        constraints=constraints,
+        method="SLSQP",
+        options={"maxiter": max_iterations, "ftol": 1e-9},
+    )
+    weights = np.asarray(result.x, dtype=np.float64)
+    # Clean up tiny constraint violations left by SLSQP.
+    weights = project_onto_box(weights, problem.lower, problem.upper)
+    weights = project_onto_ball(weights, np.sqrt(problem.ball_radius_squared))
+    return QCLPSolution(
+        weights=weights,
+        objective=float(c @ weights),
+        feasible=_is_feasible(problem, weights),
+        backend="slsqp",
+        iterations=int(result.nit),
+    )
+
+
+def _solve_projected(
+    problem: QCLPProblem, max_iterations: int, step_size: Optional[float]
+) -> QCLPSolution:
+    c = problem.bias_influence
+    u = problem.utility_influence
+    radius = np.sqrt(problem.ball_radius_squared)
+    if step_size is None:
+        scale = max(float(np.linalg.norm(c)), 1e-12)
+        step_size = radius / scale / 10.0
+
+    weights = np.zeros(problem.size)
+    best = weights.copy()
+    best_objective = 0.0
+    for iteration in range(max_iterations):
+        weights = weights - step_size * c
+        # Alternating projections onto the three convex constraint sets.
+        for _ in range(5):
+            weights = project_onto_box(weights, problem.lower, problem.upper)
+            weights = project_onto_ball(weights, radius)
+            weights = project_onto_halfspace(weights, u, problem.utility_budget)
+        objective = float(c @ weights)
+        if objective < best_objective and _is_feasible(problem, weights, tol=1e-4):
+            best_objective = objective
+            best = weights.copy()
+    return QCLPSolution(
+        weights=best,
+        objective=best_objective,
+        feasible=_is_feasible(problem, best, tol=1e-4),
+        backend="projected",
+        iterations=max_iterations,
+    )
+
+
+def solve_qclp(
+    problem: QCLPProblem,
+    backend: str = "slsqp",
+    max_iterations: int = 300,
+    step_size: Optional[float] = None,
+) -> QCLPSolution:
+    """Solve the fairness-aware reweighting QCLP.
+
+    Parameters
+    ----------
+    problem:
+        Influence vectors and constraint levels.
+    backend:
+        ``"slsqp"`` (default) or ``"projected"``.
+    max_iterations:
+        Iteration budget of the chosen backend.
+    step_size:
+        Optional step size for the projected-gradient backend.
+    """
+    if problem.size == 0:
+        return QCLPSolution(
+            weights=np.zeros(0), objective=0.0, feasible=True, backend=backend
+        )
+    if backend == "slsqp":
+        return _solve_slsqp(problem, max_iterations)
+    if backend == "projected":
+        return _solve_projected(problem, max_iterations, step_size)
+    raise ValueError(f"unknown backend {backend!r}; use 'slsqp' or 'projected'")

@@ -1,0 +1,49 @@
+"""Edge privacy: link-stealing attacks, risk metrics and edge-DP defences.
+
+The attacker model follows He et al. (USENIX Security 2021) Attack-0: the
+adversary queries the victim GNN once per node, computes a distance between
+the posteriors of a candidate node pair, and predicts "connected" when the
+distance is small.  The privacy risk of edges (Definition 2 of the paper) is
+the separation between the distance distributions of connected and
+unconnected pairs; the operational risk measure in the experiments is the
+attack AUC averaged over eight distance metrics.
+"""
+
+from repro.privacy.distances import (
+    DISTANCE_METRICS,
+    pairwise_posterior_distance,
+    distance_matrix,
+)
+from repro.privacy.auc import roc_auc_score, roc_curve
+from repro.privacy.attacks.link_stealing import (
+    LinkStealingAttack,
+    AttackResult,
+    sample_attack_pairs,
+)
+from repro.privacy.attacks.linkteller import LinkTellerAttack
+from repro.privacy.risk import (
+    edge_privacy_risk,
+    normalized_edge_privacy_risk,
+    embedding_sensitivity,
+    risk_report,
+)
+from repro.privacy.dp import edge_rand, lap_graph, dp_flip_probability
+
+__all__ = [
+    "DISTANCE_METRICS",
+    "pairwise_posterior_distance",
+    "distance_matrix",
+    "roc_auc_score",
+    "roc_curve",
+    "LinkStealingAttack",
+    "AttackResult",
+    "sample_attack_pairs",
+    "LinkTellerAttack",
+    "edge_privacy_risk",
+    "normalized_edge_privacy_risk",
+    "embedding_sensitivity",
+    "risk_report",
+    "edge_rand",
+    "lap_graph",
+    "dp_flip_probability",
+]

@@ -1,0 +1,10 @@
+"""Edge-inference attacks against trained GNNs."""
+
+from repro.privacy.attacks.link_stealing import (
+    LinkStealingAttack,
+    AttackResult,
+    sample_attack_pairs,
+)
+from repro.privacy.attacks.linkteller import LinkTellerAttack
+
+__all__ = ["LinkStealingAttack", "AttackResult", "sample_attack_pairs", "LinkTellerAttack"]

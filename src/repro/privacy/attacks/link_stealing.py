@@ -1,0 +1,187 @@
+"""Link-stealing Attack-0 (He et al., USENIX Security 2021).
+
+This is the attack used throughout the paper's evaluation: the adversary only
+needs black-box query access to the victim GNN's posteriors.  For a candidate
+node pair the attack computes a posterior distance; small distances indicate
+a likely edge.  Two decision procedures are provided:
+
+* **scoring** — negative distance as a continuous score, evaluated with AUC
+  (the paper's privacy-risk measure in Figure 4 and Tables IV/V);
+* **clustering** — the unsupervised 2-means split of the distances into a
+  "close" and a "far" cluster described in Section IV of the paper, which
+  yields hard connected/unconnected decisions without any threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.privacy.auc import roc_auc_score
+from repro.privacy.distances import DISTANCE_METRICS, pairwise_posterior_distance
+from repro.utils.rng import RandomState, ensure_rng
+
+DEFAULT_METRICS: Tuple[str, ...] = tuple(sorted(DISTANCE_METRICS))
+
+
+def sample_attack_pairs(
+    graph: Graph,
+    num_negative: Optional[int] = None,
+    rng: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build the attack evaluation set: all edges plus sampled non-edges.
+
+    Following the attack literature, the negative class is a uniform sample of
+    unconnected pairs of the same size as the edge set (balanced evaluation),
+    unless ``num_negative`` overrides the count.
+
+    Returns
+    -------
+    (pairs, labels):
+        ``pairs`` is an ``(M, 2)`` index array, ``labels`` the binary edge
+        indicator (1 = edge in the training graph).
+    """
+    generator = ensure_rng(rng)
+    positive_pairs = graph.edge_list()
+    if positive_pairs.shape[0] == 0:
+        raise ValueError("graph has no edges to attack")
+    count = positive_pairs.shape[0] if num_negative is None else int(num_negative)
+    negative_pairs = graph.non_edge_sample(count, generator)
+    pairs = np.concatenate([positive_pairs, negative_pairs], axis=0)
+    labels = np.concatenate(
+        [np.ones(positive_pairs.shape[0], dtype=np.int64), np.zeros(count, dtype=np.int64)]
+    )
+    return pairs, labels
+
+
+def _two_means_split(values: np.ndarray, max_iterations: int = 100) -> np.ndarray:
+    """1-D 2-means clustering; returns True for members of the lower cluster."""
+    values = np.asarray(values, dtype=np.float64)
+    low, high = float(values.min()), float(values.max())
+    if np.isclose(low, high):
+        return np.ones(values.shape[0], dtype=bool)
+    centers = np.array([low, high])
+    assignment = np.zeros(values.shape[0], dtype=np.int64)
+    for _ in range(max_iterations):
+        distances = np.abs(values[:, None] - centers[None, :])
+        new_assignment = distances.argmin(axis=1)
+        if np.array_equal(new_assignment, assignment):
+            break
+        assignment = new_assignment
+        for cluster in (0, 1):
+            members = values[assignment == cluster]
+            if members.size:
+                centers[cluster] = members.mean()
+    lower_cluster = int(np.argmin(centers))
+    return assignment == lower_cluster
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a link-stealing attack evaluation."""
+
+    auc_per_metric: Dict[str, float] = field(default_factory=dict)
+    accuracy_per_metric: Dict[str, float] = field(default_factory=dict)
+    num_pairs: int = 0
+    num_positive: int = 0
+
+    @property
+    def mean_auc(self) -> float:
+        """Average AUC over the evaluated distance metrics (paper's risk score)."""
+        if not self.auc_per_metric:
+            return float("nan")
+        return float(np.mean(list(self.auc_per_metric.values())))
+
+    @property
+    def max_auc(self) -> float:
+        """Worst-case (most successful) AUC over distance metrics."""
+        if not self.auc_per_metric:
+            return float("nan")
+        return float(np.max(list(self.auc_per_metric.values())))
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flatten the result for tabular reporting."""
+        flat: Dict[str, float] = {"mean_auc": self.mean_auc, "max_auc": self.max_auc}
+        for metric, value in self.auc_per_metric.items():
+            flat[f"auc_{metric}"] = value
+        return flat
+
+
+class LinkStealingAttack:
+    """Black-box link-stealing attack (Attack-0).
+
+    Parameters
+    ----------
+    metrics:
+        Distance metrics to evaluate (defaults to the paper's eight).
+    num_negative:
+        Number of unconnected pairs to sample; ``None`` balances with the
+        number of edges.
+    seed:
+        Seed for the negative-pair sampling, making the evaluation
+        deterministic for a fixed victim model.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[Sequence[str]] = None,
+        num_negative: Optional[int] = None,
+        seed: RandomState = 0,
+    ) -> None:
+        self.metrics = tuple(metrics) if metrics is not None else DEFAULT_METRICS
+        unknown = [m for m in self.metrics if m not in DISTANCE_METRICS]
+        if unknown:
+            raise KeyError(f"unknown distance metrics: {unknown}")
+        self.num_negative = num_negative
+        self.seed = seed
+
+    # ------------------------------------------------------------------ #
+    # Attack primitives
+    # ------------------------------------------------------------------ #
+    def scores(
+        self, posteriors: np.ndarray, pairs: np.ndarray, metric: str
+    ) -> np.ndarray:
+        """Attack scores for ``pairs`` (higher = more likely connected)."""
+        distances = pairwise_posterior_distance(posteriors, pairs, metric)
+        return -distances
+
+    def predict_edges(
+        self, posteriors: np.ndarray, pairs: np.ndarray, metric: str = "cosine"
+    ) -> np.ndarray:
+        """Hard edge predictions via the unsupervised 2-means split."""
+        distances = pairwise_posterior_distance(posteriors, pairs, metric)
+        return _two_means_split(distances)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate_posteriors(
+        self,
+        posteriors: np.ndarray,
+        pairs: np.ndarray,
+        labels: np.ndarray,
+    ) -> AttackResult:
+        """Evaluate the attack on explicit candidate pairs and labels."""
+        labels = np.asarray(labels, dtype=np.int64)
+        result = AttackResult(num_pairs=int(labels.size), num_positive=int(labels.sum()))
+        for metric in self.metrics:
+            scores = self.scores(posteriors, pairs, metric)
+            result.auc_per_metric[metric] = roc_auc_score(labels, scores)
+            predictions = self.predict_edges(posteriors, pairs, metric)
+            result.accuracy_per_metric[metric] = float((predictions == labels.astype(bool)).mean())
+        return result
+
+    def evaluate(self, victim_model, graph: Graph) -> AttackResult:
+        """Query ``victim_model`` on ``graph`` and evaluate edge leakage.
+
+        The victim is queried through its public prediction interface
+        (``predict_proba``), matching the black-box threat model.
+        """
+        posteriors = victim_model.predict_proba(graph.features, graph.adjacency)
+        pairs, labels = sample_attack_pairs(
+            graph, num_negative=self.num_negative, rng=ensure_rng(self.seed)
+        )
+        return self.evaluate_posteriors(posteriors, pairs, labels)

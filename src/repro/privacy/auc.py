@@ -1,0 +1,69 @@
+"""ROC-AUC computation (no scikit-learn dependency).
+
+The attack evaluation of the paper reports AUC of the link-stealing scores
+against the ground-truth edge labels.  AUC is computed with the rank-sum
+(Mann–Whitney U) formulation, which handles ties by mid-ranking.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+from scipy import stats
+
+
+def roc_auc_score(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve.
+
+    Parameters
+    ----------
+    labels:
+        Binary ground-truth labels (1 = positive class, i.e. "edge exists").
+    scores:
+        Real-valued scores where *larger* means "more likely positive".
+    """
+    labels = np.asarray(labels).astype(np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    if labels.ndim != 1:
+        raise ValueError("labels and scores must be 1-dimensional")
+    positives = int(np.count_nonzero(labels == 1))
+    negatives = int(np.count_nonzero(labels == 0))
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC requires at least one positive and one negative sample")
+    ranks = stats.rankdata(scores)
+    rank_sum = float(ranks[labels == 1].sum())
+    u_statistic = rank_sum - positives * (positives + 1) / 2.0
+    return u_statistic / (positives * negatives)
+
+
+def roc_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return (false_positive_rate, true_positive_rate, thresholds).
+
+    Thresholds are the unique score values in decreasing order; a point of the
+    curve corresponds to predicting positive for ``score >= threshold``.
+    """
+    labels = np.asarray(labels).astype(np.int64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise ValueError("labels and scores must be 1-dimensional and aligned")
+    order = np.argsort(-scores, kind="stable")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    threshold_idx = np.concatenate([distinct, [labels.size - 1]])
+
+    true_positive = np.cumsum(sorted_labels)[threshold_idx]
+    false_positive = (threshold_idx + 1) - true_positive
+
+    positives = max(int(labels.sum()), 1)
+    negatives = max(int((1 - labels).sum()), 1)
+    tpr = np.concatenate([[0.0], true_positive / positives])
+    fpr = np.concatenate([[0.0], false_positive / negatives])
+    thresholds = np.concatenate([[np.inf], sorted_scores[threshold_idx]])
+    return fpr, tpr, thresholds

@@ -1,0 +1,118 @@
+"""The eight posterior-distance metrics used by the link-stealing attack.
+
+He et al. (and the paper, Section VII-A) evaluate the attack with Cosine,
+Euclidean, Correlation, Chebyshev, Braycurtis, Canberra, Cityblock and
+Squared-Euclidean distances between the victim model's posteriors for the two
+nodes of a candidate pair.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+DistanceFunction = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _cosine(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    dot = np.sum(a * b, axis=1)
+    norms = np.linalg.norm(a, axis=1) * np.linalg.norm(b, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        similarity = np.where(norms > 0, dot / norms, 0.0)
+    return 1.0 - similarity
+
+
+def _euclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.linalg.norm(a - b, axis=1)
+
+
+def _sqeuclidean(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.sum((a - b) ** 2, axis=1)
+
+
+def _correlation(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a_centered = a - a.mean(axis=1, keepdims=True)
+    b_centered = b - b.mean(axis=1, keepdims=True)
+    dot = np.sum(a_centered * b_centered, axis=1)
+    norms = np.linalg.norm(a_centered, axis=1) * np.linalg.norm(b_centered, axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        corr = np.where(norms > 0, dot / norms, 0.0)
+    return 1.0 - corr
+
+
+def _chebyshev(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.max(np.abs(a - b), axis=1)
+
+
+def _braycurtis(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    numerator = np.sum(np.abs(a - b), axis=1)
+    denominator = np.sum(np.abs(a + b), axis=1)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(denominator > 0, numerator / denominator, 0.0)
+
+
+def _canberra(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    numerator = np.abs(a - b)
+    denominator = np.abs(a) + np.abs(b)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(denominator > 0, numerator / denominator, 0.0)
+    return np.sum(terms, axis=1)
+
+
+def _cityblock(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return np.sum(np.abs(a - b), axis=1)
+
+
+DISTANCE_METRICS: Dict[str, DistanceFunction] = {
+    "cosine": _cosine,
+    "euclidean": _euclidean,
+    "correlation": _correlation,
+    "chebyshev": _chebyshev,
+    "braycurtis": _braycurtis,
+    "canberra": _canberra,
+    "cityblock": _cityblock,
+    "sqeuclidean": _sqeuclidean,
+}
+"""Name → vectorised distance function over row-aligned ``(M, C)`` arrays."""
+
+
+def pairwise_posterior_distance(
+    posteriors: np.ndarray, pairs: np.ndarray, metric: str = "cosine"
+) -> np.ndarray:
+    """Distance between the posterior rows of each node pair.
+
+    Parameters
+    ----------
+    posteriors:
+        ``(N, C)`` victim-model outputs.
+    pairs:
+        ``(M, 2)`` node index pairs.
+    metric:
+        One of :data:`DISTANCE_METRICS`.
+    """
+    if metric not in DISTANCE_METRICS:
+        raise KeyError(
+            f"unknown distance metric {metric!r}; available: {', '.join(sorted(DISTANCE_METRICS))}"
+        )
+    posteriors = np.asarray(posteriors, dtype=np.float64)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.zeros(0)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (M, 2)")
+    if pairs.min() < 0 or pairs.max() >= posteriors.shape[0]:
+        raise ValueError("pair indices out of range for posterior matrix")
+    return DISTANCE_METRICS[metric](posteriors[pairs[:, 0]], posteriors[pairs[:, 1]])
+
+
+def distance_matrix(
+    posteriors: np.ndarray, metric: str = "cosine"
+) -> np.ndarray:
+    """Full ``(N, N)`` pairwise distance matrix (used by small examples only)."""
+    posteriors = np.asarray(posteriors, dtype=np.float64)
+    n = posteriors.shape[0]
+    rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    pairs = np.stack([rows.ravel(), cols.ravel()], axis=1)
+    values = pairwise_posterior_distance(posteriors, pairs, metric)
+    return values.reshape(n, n)

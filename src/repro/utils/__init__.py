@@ -1,0 +1,25 @@
+"""Shared utilities: random-number management, validation and timing."""
+
+from repro.utils.rng import RandomState, ensure_rng, spawn_children
+from repro.utils.validation import (
+    check_adjacency,
+    check_features,
+    check_labels,
+    check_probability,
+    check_positive,
+    check_in_range,
+)
+from repro.utils.timing import Timer
+
+__all__ = [
+    "RandomState",
+    "ensure_rng",
+    "spawn_children",
+    "check_adjacency",
+    "check_features",
+    "check_labels",
+    "check_probability",
+    "check_positive",
+    "check_in_range",
+    "Timer",
+]

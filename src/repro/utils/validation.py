@@ -1,0 +1,128 @@
+"""Input validation helpers shared across subpackages.
+
+The library favours raising clear errors at the public API boundary over
+failing deep inside numerical code.  These helpers centralise the common
+checks (adjacency shape/symmetry, feature matrix alignment, label ranges,
+probabilities, positive scalars).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def check_adjacency(adjacency: np.ndarray, *, name: str = "adjacency") -> np.ndarray:
+    """Validate an adjacency matrix and return it as ``float64``.
+
+    The matrix must be square, two-dimensional, non-negative and finite.
+    Symmetry is *not* enforced here because perturbed / directed variants are
+    sometimes useful internally; use :func:`check_symmetric` for that.
+    """
+    arr = np.asarray(adjacency, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    if np.any(arr < 0):
+        raise ValueError(f"{name} contains negative entries")
+    return arr
+
+
+def check_symmetric(matrix: np.ndarray, *, name: str = "matrix", tol: float = 1e-8) -> np.ndarray:
+    """Validate that ``matrix`` is symmetric within ``tol``."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {arr.shape}")
+    if not np.allclose(arr, arr.T, atol=tol):
+        raise ValueError(f"{name} must be symmetric")
+    return arr
+
+
+def check_features(
+    features: np.ndarray, *, num_nodes: Optional[int] = None, name: str = "features"
+) -> np.ndarray:
+    """Validate a node-feature matrix and return it as ``float64``."""
+    arr = np.asarray(features, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {arr.shape}")
+    if num_nodes is not None and arr.shape[0] != num_nodes:
+        raise ValueError(
+            f"{name} has {arr.shape[0]} rows but the graph has {num_nodes} nodes"
+        )
+    if not np.all(np.isfinite(arr)):
+        raise ValueError(f"{name} contains non-finite entries")
+    return arr
+
+
+def check_labels(
+    labels: np.ndarray,
+    *,
+    num_nodes: Optional[int] = None,
+    num_classes: Optional[int] = None,
+    name: str = "labels",
+) -> np.ndarray:
+    """Validate an integer label vector."""
+    arr = np.asarray(labels)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.integer):
+        if np.all(arr == arr.astype(np.int64)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ValueError(f"{name} must contain integers")
+    arr = arr.astype(np.int64)
+    if num_nodes is not None and arr.shape[0] != num_nodes:
+        raise ValueError(f"{name} has {arr.shape[0]} entries, expected {num_nodes}")
+    if arr.size and arr.min() < 0:
+        raise ValueError(f"{name} must be non-negative")
+    if num_classes is not None and arr.size and arr.max() >= num_classes:
+        raise ValueError(
+            f"{name} contains class {arr.max()} but only {num_classes} classes exist"
+        )
+    return arr
+
+
+def check_probability(value: float, *, name: str = "probability") -> float:
+    """Validate a scalar probability in ``[0, 1]``."""
+    prob = float(value)
+    if not 0.0 <= prob <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {prob}")
+    return prob
+
+
+def check_positive(value: float, *, name: str = "value", strict: bool = True) -> float:
+    """Validate a (strictly) positive scalar."""
+    val = float(value)
+    if strict and val <= 0:
+        raise ValueError(f"{name} must be > 0, got {val}")
+    if not strict and val < 0:
+        raise ValueError(f"{name} must be >= 0, got {val}")
+    return val
+
+
+def check_in_range(
+    value: float, low: float, high: float, *, name: str = "value"
+) -> float:
+    """Validate a scalar in the closed interval ``[low, high]``."""
+    val = float(value)
+    if not low <= val <= high:
+        raise ValueError(f"{name} must lie in [{low}, {high}], got {val}")
+    return val
+
+
+def check_mask(
+    mask: np.ndarray, *, num_nodes: Optional[int] = None, name: str = "mask"
+) -> np.ndarray:
+    """Validate a boolean node mask."""
+    arr = np.asarray(mask)
+    if arr.dtype != np.bool_:
+        raise ValueError(f"{name} must be boolean")
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-dimensional")
+    if num_nodes is not None and arr.shape[0] != num_nodes:
+        raise ValueError(f"{name} has {arr.shape[0]} entries, expected {num_nodes}")
+    return arr

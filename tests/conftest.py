@@ -1,0 +1,77 @@
+"""Shared fixtures: small graphs and trained models reused across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.spec import DatasetSpec
+from repro.datasets.synthetic import generate_surrogate
+from repro.gnn.models import build_model
+from repro.gnn.trainer import TrainConfig, Trainer
+
+
+TINY_SPEC = DatasetSpec(
+    name="tiny",
+    num_nodes=120,
+    num_classes=3,
+    num_features=16,
+    average_degree=4.0,
+    homophily=0.8,
+    feature_model="gaussian",
+    degree_heterogeneity=0.2,
+    train_per_class=10,
+    val_fraction=0.15,
+    test_fraction=0.3,
+    class_separation=2.0,
+    feature_noise=0.8,
+)
+
+WEAK_SPEC = DatasetSpec(
+    name="tiny-weak",
+    num_nodes=120,
+    num_classes=2,
+    num_features=12,
+    average_degree=5.0,
+    homophily=0.6,
+    feature_model="gaussian",
+    train_per_class=12,
+    val_fraction=0.15,
+    test_fraction=0.3,
+)
+
+
+@pytest.fixture(scope="session")
+def tiny_graph():
+    """A small homophilous surrogate graph shared by most tests."""
+    return generate_surrogate(TINY_SPEC, seed=7)
+
+
+@pytest.fixture(scope="session")
+def weak_graph():
+    """A small weak-homophily surrogate graph (Table V style)."""
+    return generate_surrogate(WEAK_SPEC, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_train_config():
+    return TrainConfig(epochs=60, patience=None, track_best=False)
+
+
+@pytest.fixture(scope="session")
+def trained_gcn(tiny_graph, tiny_train_config):
+    """A GCN vanilla-trained on the tiny graph (session-scoped for speed)."""
+    model = build_model(
+        "gcn",
+        in_features=tiny_graph.num_features,
+        num_classes=tiny_graph.num_classes,
+        hidden_features=8,
+        rng=0,
+    )
+    Trainer(model, tiny_train_config).fit(tiny_graph)
+    return model
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(123)

@@ -1,0 +1,128 @@
+"""Tests for the dataset surrogates, specs, splits and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DATASET_SPECS,
+    DatasetSpec,
+    available_datasets,
+    generate_surrogate,
+    get_spec,
+    load_dataset,
+    make_fraction_split,
+    make_planetoid_split,
+)
+from repro.datasets.synthetic import summarize
+from repro.graphs.homophily import edge_homophily
+
+
+class TestSpecs:
+    def test_registry_contains_paper_datasets(self):
+        assert set(available_datasets()) == {"cora", "citeseer", "pubmed", "enzymes", "credit"}
+
+    def test_get_spec_case_insensitive(self):
+        assert get_spec("CoRa").name == "cora"
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(KeyError):
+            get_spec("imagenet")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="bad", num_nodes=10, num_classes=5, num_features=4,
+                average_degree=3.0, homophily=0.8,
+            )
+        with pytest.raises(ValueError):
+            DatasetSpec(
+                name="bad", num_nodes=500, num_classes=3, num_features=4,
+                average_degree=3.0, homophily=0.8, feature_model="text",
+            )
+
+    def test_scaled_keeps_split_feasible(self):
+        spec = get_spec("cora").scaled(0.1)
+        graph = generate_surrogate(spec, seed=0)
+        assert graph.train_mask.sum() == spec.num_classes * spec.train_per_class
+
+    def test_homophily_ordering_matches_paper(self):
+        assert get_spec("cora").homophily > get_spec("credit").homophily
+        assert get_spec("pubmed").homophily > get_spec("enzymes").homophily
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        first = load_dataset("cora", seed=3, scale=0.5)
+        second = load_dataset("cora", seed=3, scale=0.5)
+        np.testing.assert_array_equal(first.adjacency, second.adjacency)
+        np.testing.assert_array_equal(first.features, second.features)
+        np.testing.assert_array_equal(first.train_mask, second.train_mask)
+
+    def test_different_seeds_differ(self):
+        first = load_dataset("cora", seed=0, scale=0.5)
+        second = load_dataset("cora", seed=1, scale=0.5)
+        assert not np.array_equal(first.adjacency, second.adjacency)
+
+    def test_masks_are_disjoint(self):
+        graph = load_dataset("citeseer", seed=0, scale=0.5)
+        overlap = graph.train_mask & graph.val_mask | graph.train_mask & graph.test_mask
+        assert not overlap.any()
+
+    def test_no_isolated_nodes(self):
+        graph = load_dataset("pubmed", seed=0, scale=0.5)
+        assert (graph.degrees > 0).all()
+
+    @pytest.mark.parametrize("name", ["cora", "citeseer", "pubmed", "enzymes", "credit"])
+    def test_homophily_calibration(self, name):
+        graph = load_dataset(name, seed=0, scale=0.75)
+        target = get_spec(name).homophily
+        measured = edge_homophily(graph.adjacency, graph.labels)
+        assert measured == pytest.approx(target, abs=0.1)
+
+    def test_binary_feature_model_for_citation_graphs(self):
+        graph = load_dataset("cora", seed=0, scale=0.5)
+        assert set(np.unique(graph.features)) <= {0.0, 1.0}
+
+    def test_summarize_reports_key_statistics(self, tiny_graph):
+        stats = summarize(tiny_graph)
+        assert stats["num_nodes"] == tiny_graph.num_nodes
+        assert "edge_homophily" in stats and "intra_class_probability" in stats
+
+    def test_metadata_marks_surrogate(self):
+        graph = load_dataset("enzymes", seed=0, scale=0.5)
+        assert graph.metadata["surrogate"] is True
+
+
+class TestSplits:
+    def test_planetoid_split_counts(self):
+        labels = np.repeat(np.arange(4), 50)
+        train, val, test = make_planetoid_split(labels, 10, 0.2, 0.3, rng=0)
+        assert train.sum() == 40
+        assert val.sum() == round(0.2 * 200)
+        assert test.sum() == round(0.3 * 200)
+        assert not (train & val).any() and not (train & test).any() and not (val & test).any()
+
+    def test_planetoid_split_class_balance(self):
+        labels = np.repeat(np.arange(3), 40)
+        train, _, _ = make_planetoid_split(labels, 7, 0.1, 0.2, rng=0)
+        for cls in range(3):
+            assert (labels[train] == cls).sum() == 7
+
+    def test_planetoid_split_insufficient_class(self):
+        labels = np.array([0] * 3 + [1] * 30)
+        with pytest.raises(ValueError):
+            make_planetoid_split(labels, 5, 0.1, 0.1, rng=0)
+
+    def test_planetoid_split_too_large_fractions(self):
+        labels = np.repeat(np.arange(2), 30)
+        with pytest.raises(ValueError):
+            make_planetoid_split(labels, 20, 0.5, 0.5, rng=0)
+
+    def test_fraction_split_partitions_everything(self):
+        train, val, test = make_fraction_split(100, 0.6, 0.2, rng=0)
+        assert train.sum() == 60 and val.sum() == 20 and test.sum() == 20
+        assert (train.astype(int) + val.astype(int) + test.astype(int) == 1).all()
+
+    def test_fraction_split_invalid(self):
+        with pytest.raises(ValueError):
+            make_fraction_split(10, 0.8, 0.4, rng=0)

@@ -1,0 +1,157 @@
+"""Tests for the individual-fairness metric, regulariser and reweighting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fairness.inform import bias_from_graph, bias_metric, bias_tensor, inform_regularizer
+from repro.fairness.metrics import (
+    individual_fairness_report,
+    lipschitz_violations,
+    pairwise_prediction_distance,
+)
+from repro.fairness.reweighting import FairnessReweightingConfig, compute_fairness_weights
+from repro.graphs.laplacian import laplacian
+from repro.graphs.similarity import jaccard_similarity
+from repro.influence.functions import InfluenceConfig
+from repro.nn.tensor import Tensor
+
+
+class TestBiasMetric:
+    def test_identical_predictions_have_zero_bias(self, tiny_graph):
+        predictions = np.tile(np.array([0.2, 0.3, 0.5]), (tiny_graph.num_nodes, 1))
+        assert bias_from_graph(predictions, tiny_graph) == pytest.approx(0.0, abs=1e-12)
+
+    def test_bias_matches_pairwise_formula(self):
+        rng = np.random.default_rng(0)
+        adjacency = np.zeros((6, 6))
+        for i, j in [(0, 1), (1, 2), (3, 4), (4, 5), (2, 3)]:
+            adjacency[i, j] = adjacency[j, i] = 1.0
+        similarity = jaccard_similarity(adjacency)
+        predictions = rng.random((6, 3))
+        manual = 0.0
+        for i in range(6):
+            for j in range(6):
+                manual += 0.5 * similarity[i, j] * np.sum((predictions[i] - predictions[j]) ** 2)
+        assert bias_metric(predictions, similarity, normalize=False) == pytest.approx(manual)
+
+    def test_normalized_smaller_than_raw(self, tiny_graph):
+        rng = np.random.default_rng(1)
+        predictions = rng.random((tiny_graph.num_nodes, 3))
+        similarity = jaccard_similarity(tiny_graph.adjacency)
+        raw = bias_metric(predictions, similarity, normalize=False)
+        normalized = bias_metric(predictions, similarity, normalize=True)
+        assert normalized < raw
+
+    def test_bias_non_negative(self, tiny_graph):
+        rng = np.random.default_rng(2)
+        predictions = rng.random((tiny_graph.num_nodes, 4))
+        assert bias_from_graph(predictions, tiny_graph) >= 0.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            bias_metric(np.zeros((3, 2)), np.zeros((4, 4)))
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=15, deadline=None)
+    def test_property_scaling_predictions_scales_bias(self, seed):
+        rng = np.random.default_rng(seed)
+        adjacency = np.zeros((5, 5))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        adjacency[2, 3] = adjacency[3, 2] = 1.0
+        similarity = jaccard_similarity(adjacency)
+        predictions = rng.random((5, 2))
+        base = bias_metric(predictions, similarity, normalize=False)
+        doubled = bias_metric(2 * predictions, similarity, normalize=False)
+        assert doubled == pytest.approx(4 * base, rel=1e-9, abs=1e-12)
+
+
+class TestBiasTensorAndRegularizer:
+    def test_bias_tensor_matches_metric(self, tiny_graph):
+        rng = np.random.default_rng(3)
+        predictions = rng.random((tiny_graph.num_nodes, 3))
+        similarity = jaccard_similarity(tiny_graph.adjacency)
+        lap = laplacian(similarity)
+        tensor_value = bias_tensor(Tensor(predictions), lap).item()
+        assert tensor_value == pytest.approx(bias_metric(predictions, similarity, normalize=False))
+
+    def test_bias_tensor_gradient_flows(self, tiny_graph):
+        similarity = jaccard_similarity(tiny_graph.adjacency)
+        lap = laplacian(similarity)
+        predictions = Tensor(
+            np.random.default_rng(4).random((tiny_graph.num_nodes, 3)), requires_grad=True
+        )
+        bias_tensor(predictions, lap).backward()
+        assert predictions.grad is not None
+        assert np.any(predictions.grad != 0)
+
+    def test_regularizer_returns_scalar_tensor(self, tiny_graph):
+        regularizer = inform_regularizer(weight=10.0)
+        logits = Tensor(np.random.default_rng(5).normal(size=(tiny_graph.num_nodes, 3)))
+        value = regularizer(logits, tiny_graph)
+        assert value.size == 1
+        assert value.item() >= 0.0
+
+    def test_regularizer_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            inform_regularizer(weight=0.0)
+
+
+class TestFairnessDiagnostics:
+    def test_pairwise_prediction_distance(self):
+        predictions = np.array([[0.0, 1.0], [1.0, 0.0], [0.0, 1.0]])
+        distances = pairwise_prediction_distance(predictions, np.array([[0, 1], [0, 2]]))
+        np.testing.assert_allclose(distances, [np.sqrt(2.0), 0.0])
+
+    def test_pairwise_distance_empty(self):
+        assert pairwise_prediction_distance(np.zeros((3, 2)), np.zeros((0, 2))).size == 0
+
+    def test_lipschitz_violations_counts(self):
+        similarity = np.array([[0.0, 0.9], [0.9, 0.0]])
+        far_predictions = np.array([[1.0, 0.0], [0.0, 1.0]])
+        close_predictions = np.array([[0.5, 0.5], [0.5, 0.5]])
+        assert lipschitz_violations(far_predictions, similarity) == 1
+        assert lipschitz_violations(close_predictions, similarity) == 0
+
+    def test_report_keys(self, trained_gcn, tiny_graph):
+        posteriors = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        report = individual_fairness_report(posteriors, tiny_graph)
+        assert {"bias", "mean_similar_pair_distance", "lipschitz_violations"} <= set(report)
+        assert report["num_similar_pairs"] > 0
+
+
+class TestFairnessReweighting:
+    @pytest.fixture(scope="class")
+    def weights(self, trained_gcn, tiny_graph):
+        config = FairnessReweightingConfig(
+            influence=InfluenceConfig(damping=0.1, cg_iterations=8)
+        )
+        return compute_fairness_weights(trained_gcn, tiny_graph, config=config)
+
+    def test_shapes_align_with_train_nodes(self, weights, tiny_graph):
+        num_train = int(tiny_graph.train_mask.sum())
+        assert weights.raw_weights.shape == (num_train,)
+        assert weights.loss_multipliers.shape == (num_train,)
+        assert weights.train_indices.shape == (num_train,)
+
+    def test_raw_weights_in_box(self, weights):
+        assert weights.raw_weights.min() >= -1.0 - 1e-6
+        assert weights.raw_weights.max() <= 1.0 + 1e-6
+
+    def test_multipliers_non_negative(self, weights):
+        assert weights.loss_multipliers.min() >= 0.0
+
+    def test_qclp_solution_feasible(self, weights, tiny_graph):
+        num_train = int(tiny_graph.train_mask.sum())
+        assert weights.qclp.feasible
+        assert np.sum(weights.raw_weights**2) <= 0.9 * num_train * 1.001
+
+    def test_predicted_bias_change_is_non_positive(self, weights):
+        """The QCLP objective (predicted Δbias) must not be positive at the optimum."""
+        assert weights.qclp.objective <= 1e-9
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FairnessReweightingConfig(alpha=0.0)
+        with pytest.raises(ValueError):
+            FairnessReweightingConfig(beta=-0.1)

@@ -1,0 +1,233 @@
+"""Tests for GNN layers, models, normalisation, trainer and evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.gnn.evaluation import evaluate_accuracy, predict_labels, predict_probabilities
+from repro.gnn.layers import GATConv, GCNConv, SAGEConv
+from repro.gnn.models import GAT, GCN, MODEL_REGISTRY, GraphSAGE, build_model
+from repro.gnn.normalization import (
+    attention_mask,
+    gcn_norm,
+    left_norm,
+    mean_aggregation_matrix,
+    row_normalize_features,
+)
+from repro.gnn.trainer import TrainConfig, Trainer
+from repro.fairness.inform import inform_regularizer
+from repro.nn.tensor import Tensor
+
+
+class TestNormalization:
+    def test_gcn_norm_symmetric(self, tiny_graph):
+        propagation = gcn_norm(tiny_graph.adjacency)
+        np.testing.assert_allclose(propagation, propagation.T)
+
+    def test_left_norm_row_stochastic(self, tiny_graph):
+        propagation = left_norm(tiny_graph.adjacency)
+        np.testing.assert_allclose(propagation.sum(axis=1), 1.0)
+
+    def test_mean_aggregation_without_self(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        operator = mean_aggregation_matrix(adjacency, include_self=False)
+        np.testing.assert_allclose(operator, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_mean_aggregation_isolated_node_zero_row(self):
+        adjacency = np.zeros((3, 3))
+        operator = mean_aggregation_matrix(adjacency, include_self=False)
+        np.testing.assert_allclose(operator, np.zeros((3, 3)))
+
+    def test_attention_mask_allows_self_and_neighbors(self):
+        adjacency = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 0.0], [0.0, 0.0, 0.0]])
+        mask = attention_mask(adjacency)
+        assert not mask[0, 0] and not mask[0, 1]
+        assert mask[0, 2] and mask[2, 1]
+
+    def test_row_normalize_features(self):
+        features = np.array([[2.0, 2.0], [0.0, 0.0]])
+        normalized = row_normalize_features(features)
+        np.testing.assert_allclose(normalized[0], [0.5, 0.5])
+        np.testing.assert_allclose(normalized[1], [0.0, 0.0])
+
+
+class TestLayers:
+    def test_gcn_conv_shape_and_grad(self):
+        layer = GCNConv(6, 4, rng=0)
+        propagation = Tensor(np.eye(5))
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 6))), propagation)
+        assert out.shape == (5, 4)
+        out.sum().backward()
+        assert layer.weight.grad is not None
+
+    def test_gat_conv_multi_head_concat(self):
+        layer = GATConv(6, 4, heads=2, concat_heads=True, rng=0)
+        mask = attention_mask(np.ones((5, 5)) - np.eye(5))
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 6))), mask)
+        assert out.shape == (5, 8)
+
+    def test_gat_conv_average_heads(self):
+        layer = GATConv(6, 3, heads=2, concat_heads=False, rng=0)
+        mask = attention_mask(np.ones((4, 4)) - np.eye(4))
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(4, 6))), mask)
+        assert out.shape == (4, 3)
+
+    def test_gat_invalid_heads(self):
+        with pytest.raises(ValueError):
+            GATConv(4, 4, heads=0)
+
+    def test_sage_conv_shape(self):
+        layer = SAGEConv(6, 4, rng=0)
+        aggregation = Tensor(mean_aggregation_matrix(np.ones((5, 5)) - np.eye(5), include_self=False))
+        out = layer(Tensor(np.random.default_rng(0).normal(size=(5, 6))), aggregation)
+        assert out.shape == (5, 4)
+
+
+class TestModels:
+    def test_registry(self):
+        assert set(MODEL_REGISTRY) == {"gcn", "gat", "graphsage"}
+        with pytest.raises(KeyError):
+            build_model("transformer", 4, 2)
+
+    @pytest.mark.parametrize("name", ["gcn", "gat", "graphsage"])
+    def test_forward_shapes(self, name, tiny_graph):
+        model = build_model(
+            name, tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=0
+        )
+        logits = model(tiny_graph.features, tiny_graph.adjacency)
+        assert logits.shape == (tiny_graph.num_nodes, tiny_graph.num_classes)
+
+    def test_predict_proba_rows_sum_to_one(self, trained_gcn, tiny_graph):
+        probabilities = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+        assert probabilities.min() >= 0.0
+
+    def test_predict_labels_range(self, trained_gcn, tiny_graph):
+        labels = trained_gcn.predict_labels(tiny_graph.features, tiny_graph.adjacency)
+        assert labels.min() >= 0 and labels.max() < tiny_graph.num_classes
+
+    def test_gcn_structure_matters(self, trained_gcn, tiny_graph):
+        """Predictions must depend on the adjacency (it is the attack surface)."""
+        original = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        empty = trained_gcn.predict_proba(tiny_graph.features, np.zeros_like(tiny_graph.adjacency))
+        assert not np.allclose(original, empty)
+
+    def test_gat_requires_divisible_hidden(self):
+        with pytest.raises(ValueError):
+            GAT(in_features=4, hidden_features=5, num_classes=2, heads=2)
+
+    def test_graphsage_sampling_changes_training_forward(self, tiny_graph):
+        model = GraphSAGE(
+            tiny_graph.num_features, 8, tiny_graph.num_classes, num_samples=2, rng=0
+        )
+        model.train()
+        first = model(tiny_graph.features, tiny_graph.adjacency).data
+        second = model(tiny_graph.features, tiny_graph.adjacency).data
+        assert not np.allclose(first, second)
+        # Inference is deterministic (no sampling, no dropout).
+        det1 = model.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        det2 = model.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        np.testing.assert_allclose(det1, det2)
+
+    def test_invalid_num_layers(self):
+        with pytest.raises(ValueError):
+            GCN(4, 8, 2, num_layers=0)
+
+
+class TestTrainer:
+    def test_training_beats_random_guessing(self, trained_gcn, tiny_graph):
+        accuracy = evaluate_accuracy(trained_gcn, tiny_graph)
+        assert accuracy > 1.5 / tiny_graph.num_classes
+
+    def test_training_improves_over_init(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=1)
+        before = evaluate_accuracy(model, tiny_graph)
+        Trainer(model, TrainConfig(epochs=40, patience=None, track_best=False)).fit(tiny_graph)
+        after = evaluate_accuracy(model, tiny_graph)
+        assert after > before
+
+    def test_history_recorded(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=2)
+        result = Trainer(model, TrainConfig(epochs=5, patience=None, track_best=False)).fit(tiny_graph)
+        assert len(result.history["loss"]) == 5
+        assert result.epochs_run == 5
+
+    def test_early_stopping_respects_patience(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=3)
+        config = TrainConfig(epochs=200, patience=3, min_epochs=5)
+        result = Trainer(model, config).fit(tiny_graph)
+        assert result.epochs_run < 200
+
+    def test_sample_weight_validation(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=4)
+        trainer = Trainer(model, TrainConfig(epochs=2, patience=None))
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_graph, sample_weights=np.ones(3))
+        with pytest.raises(ValueError):
+            trainer.fit(tiny_graph, sample_weights=-np.ones(int(tiny_graph.train_mask.sum())))
+
+    def test_fine_tune_runs_exact_epochs(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=5)
+        trainer = Trainer(model, TrainConfig(epochs=10, patience=None, track_best=False))
+        trainer.fit(tiny_graph)
+        result = trainer.fine_tune(tiny_graph, epochs=4)
+        assert result.epochs_run == 4
+        # The trainer's base config must be restored after fine-tuning.
+        assert trainer.config.epochs == 10
+
+    def test_fine_tune_lr_scale_validation(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=6)
+        trainer = Trainer(model, TrainConfig(epochs=2, patience=None))
+        trainer.fit(tiny_graph)
+        with pytest.raises(ValueError):
+            trainer.fine_tune(tiny_graph, epochs=1, learning_rate_scale=0.0)
+
+    def test_regularizer_is_applied(self, tiny_graph):
+        """Training with the fairness regulariser lowers the bias term vs vanilla."""
+        from repro.fairness.inform import bias_from_graph
+
+        vanilla = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=7)
+        Trainer(vanilla, TrainConfig(epochs=60, patience=None, track_best=False)).fit(tiny_graph)
+        fair = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=7)
+        Trainer(fair, TrainConfig(epochs=60, patience=None, track_best=False)).fit(
+            tiny_graph, regularizers=[inform_regularizer(weight=100.0)]
+        )
+        bias_vanilla = bias_from_graph(
+            vanilla.predict_proba(tiny_graph.features, tiny_graph.adjacency), tiny_graph
+        )
+        bias_fair = bias_from_graph(
+            fair.predict_proba(tiny_graph.features, tiny_graph.adjacency), tiny_graph
+        )
+        assert bias_fair < bias_vanilla
+
+    def test_adjacency_override_changes_training(self, tiny_graph):
+        model = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=8)
+        trainer = Trainer(model, TrainConfig(epochs=3, patience=None, track_best=False))
+        result = trainer.fit(tiny_graph, adjacency_override=np.zeros_like(tiny_graph.adjacency))
+        assert len(result.history["loss"]) == 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(epochs=0)
+        with pytest.raises(ValueError):
+            TrainConfig(optimizer="rmsprop")
+        with pytest.raises(ValueError):
+            TrainConfig(patience=0)
+
+
+class TestEvaluation:
+    def test_predict_probabilities_and_labels(self, trained_gcn, tiny_graph):
+        probabilities = predict_probabilities(trained_gcn, tiny_graph)
+        labels = predict_labels(trained_gcn, tiny_graph)
+        np.testing.assert_array_equal(labels, probabilities.argmax(axis=1))
+
+    def test_evaluate_accuracy_custom_mask(self, trained_gcn, tiny_graph):
+        mask = np.zeros(tiny_graph.num_nodes, dtype=bool)
+        mask[tiny_graph.train_indices()] = True
+        train_accuracy = evaluate_accuracy(trained_gcn, tiny_graph, mask=mask)
+        assert 0.0 <= train_accuracy <= 1.0
+
+    def test_evaluate_accuracy_requires_labels(self, trained_gcn, tiny_graph):
+        unlabeled = tiny_graph.copy()
+        unlabeled.labels = None
+        with pytest.raises(ValueError):
+            evaluate_accuracy(trained_gcn, unlabeled)

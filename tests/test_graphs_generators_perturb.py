@@ -1,0 +1,148 @@
+"""Tests for graph generators and structure-perturbation primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import (
+    binary_class_features,
+    ensure_connected_to_giant,
+    gaussian_class_features,
+    planted_partition_graph,
+    sbm_probabilities_for_homophily,
+    stochastic_block_model,
+)
+from repro.graphs.homophily import edge_homophily
+from repro.graphs.perturb import (
+    add_edges,
+    heterophilic_candidates,
+    random_edge_flip,
+    remove_edges,
+    symmetric_difference,
+)
+
+
+class TestSBM:
+    def test_adjacency_is_valid(self):
+        adjacency, labels = stochastic_block_model([30, 30], 0.2, 0.02, rng=0)
+        assert adjacency.shape == (60, 60)
+        np.testing.assert_allclose(adjacency, adjacency.T)
+        assert np.all(np.diag(adjacency) == 0)
+        assert set(np.unique(labels)) == {0, 1}
+
+    def test_homophily_calibration(self):
+        p, q = sbm_probabilities_for_homophily(400, 4, average_degree=6.0, homophily=0.8)
+        adjacency, labels = stochastic_block_model([100] * 4, p, q, rng=0)
+        measured = edge_homophily(adjacency, labels)
+        assert measured == pytest.approx(0.8, abs=0.08)
+        degree = adjacency.sum(axis=1).mean()
+        assert degree == pytest.approx(6.0, rel=0.25)
+
+    def test_infeasible_calibration_raises(self):
+        with pytest.raises(ValueError):
+            sbm_probabilities_for_homophily(20, 10, average_degree=50.0, homophily=0.99)
+
+    def test_degree_heterogeneity_increases_variance(self):
+        flat, _ = planted_partition_graph(300, 3, 6.0, 0.8, rng=0, degree_heterogeneity=0.0)
+        heavy, _ = planted_partition_graph(300, 3, 6.0, 0.8, rng=0, degree_heterogeneity=0.8)
+        assert heavy.sum(axis=1).var() > flat.sum(axis=1).var()
+
+    def test_deterministic_given_seed(self):
+        first, _ = planted_partition_graph(100, 2, 4.0, 0.7, rng=42)
+        second, _ = planted_partition_graph(100, 2, 4.0, 0.7, rng=42)
+        np.testing.assert_array_equal(first, second)
+
+    def test_invalid_block_sizes(self):
+        with pytest.raises(ValueError):
+            stochastic_block_model([0, 10], 0.1, 0.01)
+
+    @given(homophily=st.floats(min_value=0.5, max_value=0.95))
+    @settings(max_examples=10, deadline=None)
+    def test_probabilities_in_range(self, homophily):
+        p, q = sbm_probabilities_for_homophily(300, 3, 5.0, homophily)
+        assert 0 <= q <= p <= 1
+
+
+class TestFeatureGenerators:
+    def test_gaussian_features_separate_classes(self):
+        labels = np.array([0] * 50 + [1] * 50)
+        features = gaussian_class_features(labels, 16, class_separation=4.0, noise_scale=0.5, rng=0)
+        mean_distance = np.linalg.norm(features[:50].mean(axis=0) - features[50:].mean(axis=0))
+        assert mean_distance > 2.0
+
+    def test_binary_features_are_binary(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        features = binary_class_features(labels, 40, rng=0)
+        assert set(np.unique(features)) <= {0.0, 1.0}
+        assert features.shape == (6, 40)
+
+    def test_binary_features_carry_class_signal(self):
+        labels = np.array([0] * 100 + [1] * 100)
+        features = binary_class_features(labels, 60, active_fraction=0.02, class_signal=0.5, rng=0)
+        class0 = features[:100].mean(axis=0)
+        class1 = features[100:].mean(axis=0)
+        # At least some words should differ strongly between the classes.
+        assert np.max(np.abs(class0 - class1)) > 0.2
+
+    def test_ensure_connected_removes_isolates(self):
+        adjacency = np.zeros((5, 5))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        repaired = ensure_connected_to_giant(adjacency, rng=0)
+        assert (repaired.sum(axis=1) > 0).all()
+        np.testing.assert_allclose(repaired, repaired.T)
+
+
+class TestPerturbPrimitives:
+    def setup_method(self):
+        self.adjacency = np.zeros((5, 5))
+        for i, j in [(0, 1), (1, 2), (3, 4)]:
+            self.adjacency[i, j] = self.adjacency[j, i] = 1.0
+
+    def test_add_edges(self):
+        result = add_edges(self.adjacency, np.array([[0, 4]]))
+        assert result[0, 4] == 1.0 and result[4, 0] == 1.0
+        assert self.adjacency[0, 4] == 0.0  # original untouched
+
+    def test_remove_edges(self):
+        result = remove_edges(self.adjacency, np.array([[0, 1]]))
+        assert result[0, 1] == 0.0 and result[1, 0] == 0.0
+
+    def test_add_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            add_edges(self.adjacency, np.array([[2, 2]]))
+
+    def test_add_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            add_edges(self.adjacency, np.array([[0, 9]]))
+
+    def test_random_edge_flip_zero_probability_is_identity(self):
+        result = random_edge_flip(self.adjacency, 0.0, rng=0)
+        np.testing.assert_array_equal(result, self.adjacency)
+
+    def test_random_edge_flip_one_probability_is_complement(self):
+        result = random_edge_flip(self.adjacency, 1.0, rng=0)
+        complement = 1.0 - self.adjacency
+        np.fill_diagonal(complement, 0.0)
+        np.testing.assert_array_equal(result, complement)
+
+    def test_random_edge_flip_symmetric(self):
+        result = random_edge_flip(self.adjacency, 0.3, rng=0)
+        np.testing.assert_allclose(result, result.T)
+        assert np.all(np.diag(result) == 0)
+
+    def test_heterophilic_candidates(self):
+        predictions = np.array([0, 0, 1, 1, 1])
+        candidates = heterophilic_candidates(self.adjacency, predictions, node=0)
+        # Node 0 is connected to 1; candidates must be unconnected with a different predicted label.
+        assert set(candidates) == {2, 3, 4}
+
+    def test_heterophilic_candidates_validations(self):
+        with pytest.raises(ValueError):
+            heterophilic_candidates(self.adjacency, np.zeros(3, dtype=int), node=0)
+        with pytest.raises(IndexError):
+            heterophilic_candidates(self.adjacency, np.zeros(5, dtype=int), node=10)
+
+    def test_symmetric_difference(self):
+        other = add_edges(self.adjacency, np.array([[0, 4]]))
+        assert symmetric_difference(self.adjacency, other) == 1
+        assert symmetric_difference(self.adjacency, self.adjacency) == 0

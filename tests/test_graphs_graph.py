@@ -1,0 +1,116 @@
+"""Tests for the Graph container."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.graph import Graph
+
+
+def make_path_graph(num_nodes=4, num_features=2):
+    adjacency = np.zeros((num_nodes, num_nodes))
+    for i in range(num_nodes - 1):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    features = np.arange(num_nodes * num_features, dtype=float).reshape(num_nodes, num_features)
+    return Graph(adjacency=adjacency, features=features, labels=np.zeros(num_nodes, dtype=int))
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        graph = make_path_graph(5)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 4
+        assert graph.num_features == 2
+        assert graph.num_classes == 1
+        assert graph.density() == pytest.approx(2 * 4 / (5 * 4))
+
+    def test_rejects_self_loops(self):
+        adjacency = np.eye(3)
+        with pytest.raises(ValueError, match="self-loops"):
+            Graph(adjacency=adjacency, features=np.zeros((3, 1)))
+
+    def test_rejects_asymmetric(self):
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = 1.0
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(adjacency=adjacency, features=np.zeros((3, 1)))
+
+    def test_rejects_feature_mismatch(self):
+        with pytest.raises(ValueError):
+            Graph(adjacency=np.zeros((3, 3)), features=np.zeros((2, 1)))
+
+    def test_num_classes_requires_labels(self):
+        graph = Graph(adjacency=np.zeros((2, 2)), features=np.zeros((2, 1)))
+        with pytest.raises(ValueError):
+            _ = graph.num_classes
+
+
+class TestEdgeViews:
+    def test_edge_list(self):
+        graph = make_path_graph(4)
+        edges = graph.edge_list()
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_neighbors(self):
+        graph = make_path_graph(4)
+        np.testing.assert_array_equal(graph.neighbors(1), [0, 2])
+
+    def test_neighbors_out_of_range(self):
+        with pytest.raises(IndexError):
+            make_path_graph(3).neighbors(10)
+
+    def test_degrees(self):
+        graph = make_path_graph(4)
+        np.testing.assert_array_equal(graph.degrees, [1, 2, 2, 1])
+
+    def test_non_edge_sample_excludes_edges(self):
+        graph = make_path_graph(6)
+        rng = np.random.default_rng(0)
+        pairs = graph.non_edge_sample(5, rng)
+        assert pairs.shape == (5, 2)
+        for i, j in pairs:
+            assert graph.adjacency[i, j] == 0
+            assert i < j
+
+    def test_non_edge_sample_too_many_raises(self):
+        # A triangle has no non-edges at all.
+        adjacency = np.ones((3, 3)) - np.eye(3)
+        graph = Graph(adjacency=adjacency, features=np.zeros((3, 1)))
+        with pytest.raises(RuntimeError):
+            graph.non_edge_sample(2, np.random.default_rng(0))
+
+
+class TestDerivedGraphs:
+    def test_with_adjacency_does_not_mutate(self):
+        graph = make_path_graph(4)
+        new_adjacency = np.zeros((4, 4))
+        new_adjacency[0, 3] = new_adjacency[3, 0] = 1.0
+        derived = graph.with_adjacency(new_adjacency)
+        assert derived.num_edges == 1
+        assert graph.num_edges == 3
+
+    def test_with_masks(self):
+        graph = make_path_graph(4)
+        train = np.array([True, False, False, False])
+        val = np.array([False, True, False, False])
+        test = np.array([False, False, True, True])
+        derived = graph.with_masks(train, val, test)
+        np.testing.assert_array_equal(derived.train_indices(), [0])
+        np.testing.assert_array_equal(derived.val_indices(), [1])
+        np.testing.assert_array_equal(derived.test_indices(), [2, 3])
+
+    def test_indices_require_masks(self):
+        graph = make_path_graph(3)
+        with pytest.raises(ValueError):
+            graph.train_indices()
+
+    def test_copy_is_deep(self):
+        graph = make_path_graph(4)
+        clone = graph.copy()
+        clone.adjacency[0, 1] = 0.0
+        assert graph.adjacency[0, 1] == 1.0
+
+    def test_surrogate_fixture_is_valid(self, tiny_graph):
+        assert tiny_graph.train_mask.sum() == 30
+        assert tiny_graph.num_classes == 3
+        assert (tiny_graph.degrees > 0).all()

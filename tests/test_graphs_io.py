@@ -1,0 +1,42 @@
+"""Tests for graph serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.io import load_graph, save_graph
+
+
+class TestGraphIO:
+    def test_roundtrip_preserves_arrays(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "graph.npz")
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        np.testing.assert_array_equal(loaded.adjacency, tiny_graph.adjacency)
+        np.testing.assert_array_equal(loaded.features, tiny_graph.features)
+        np.testing.assert_array_equal(loaded.labels, tiny_graph.labels)
+        np.testing.assert_array_equal(loaded.train_mask, tiny_graph.train_mask)
+        assert loaded.name == tiny_graph.name
+
+    def test_roundtrip_without_optional_fields(self, tmp_path):
+        from repro.graphs.graph import Graph
+
+        adjacency = np.zeros((3, 3))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        graph = Graph(adjacency=adjacency, features=np.ones((3, 2)))
+        path = str(tmp_path / "bare.npz")
+        save_graph(graph, path)
+        loaded = load_graph(path)
+        assert loaded.labels is None
+        assert loaded.train_mask is None
+        assert loaded.num_edges == 1
+
+    def test_metadata_survives_as_json(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "meta.npz")
+        save_graph(tiny_graph, path)
+        loaded = load_graph(path)
+        assert loaded.metadata["surrogate"] is True
+
+    def test_creates_parent_directories(self, tiny_graph, tmp_path):
+        path = str(tmp_path / "nested" / "dir" / "graph.npz")
+        save_graph(tiny_graph, path)
+        assert load_graph(path).num_nodes == tiny_graph.num_nodes

@@ -1,0 +1,134 @@
+"""Tests for k-hop utilities, homophily statistics and Proposition V.2 inputs."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.homophily import (
+    class_linking_probabilities,
+    edge_homophily,
+    is_sparse_and_homophilous,
+    node_homophily,
+)
+from repro.graphs.khop import (
+    INF_HOPS,
+    connected_unconnected_split,
+    khop_pairs,
+    pair_hop_histogram,
+    shortest_path_hops,
+    two_hop_ratio_empirical,
+    two_hop_ratio_theoretical,
+)
+
+
+def random_adjacency(num_nodes, edge_probability, seed):
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((num_nodes, num_nodes)) < edge_probability, k=1)
+    adjacency = (upper | upper.T).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+class TestShortestPathHops:
+    def test_matches_networkx(self):
+        adjacency = random_adjacency(20, 0.12, seed=0)
+        hops = shortest_path_hops(adjacency)
+        graph = nx.from_numpy_array(adjacency)
+        lengths = dict(nx.all_pairs_shortest_path_length(graph))
+        for i in range(20):
+            for j in range(20):
+                expected = lengths.get(i, {}).get(j, INF_HOPS)
+                assert hops[i, j] == expected
+
+    def test_disconnected_pair_marked_infinite(self):
+        adjacency = np.zeros((4, 4))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        hops = shortest_path_hops(adjacency)
+        assert hops[0, 3] == INF_HOPS
+
+    def test_diagonal_zero(self):
+        hops = shortest_path_hops(random_adjacency(8, 0.3, seed=1))
+        np.testing.assert_array_equal(np.diag(hops), 0)
+
+
+class TestKhopPairs:
+    def test_one_hop_pairs_are_edges(self):
+        adjacency = random_adjacency(15, 0.2, seed=2)
+        pairs = khop_pairs(adjacency, 1)
+        for i, j in pairs:
+            assert adjacency[i, j] == 1.0
+
+    def test_histogram_counts_all_pairs(self):
+        adjacency = random_adjacency(12, 0.2, seed=3)
+        histogram = pair_hop_histogram(adjacency)
+        assert sum(histogram.values()) == 12 * 11 // 2
+
+    def test_connected_unconnected_split_partitions(self):
+        adjacency = random_adjacency(12, 0.25, seed=4)
+        connected, unconnected = connected_unconnected_split(adjacency)
+        assert connected.shape[0] + unconnected.shape[0] == 12 * 11 // 2
+        for i, j in connected:
+            assert adjacency[i, j] == 1.0
+        for i, j in unconnected:
+            assert adjacency[i, j] == 0.0
+
+
+class TestTwoHopRatio:
+    def test_theoretical_formula(self):
+        assert two_hop_ratio_theoretical(0.05, 0.01) == pytest.approx(0.06**2 / 0.94)
+
+    def test_theoretical_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            two_hop_ratio_theoretical(0.01, 0.05)
+        with pytest.raises(ValueError):
+            two_hop_ratio_theoretical(0.7, 0.5)
+
+    def test_sparse_graph_has_small_ratio(self):
+        """Eq. (5): for sparse homophilous graphs the 2-hop fraction is small."""
+        adjacency = random_adjacency(150, 0.02, seed=5)
+        assert two_hop_ratio_empirical(adjacency) < 0.25
+
+    def test_empirical_ratio_on_surrogate(self, tiny_graph):
+        ratio = two_hop_ratio_empirical(tiny_graph.adjacency)
+        assert 0.0 <= ratio < 0.5
+
+    @given(
+        p=st.floats(min_value=0.01, max_value=0.2),
+        q=st.floats(min_value=0.0, max_value=0.01),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_theoretical_ratio_monotone_in_p(self, p, q):
+        base = two_hop_ratio_theoretical(p, q)
+        larger = two_hop_ratio_theoretical(min(p * 1.5, 0.4), q)
+        assert larger >= base
+
+
+class TestHomophily:
+    def test_edge_homophily_path_graph(self):
+        adjacency = np.zeros((4, 4))
+        for i in range(3):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        labels = np.array([0, 0, 1, 1])
+        assert edge_homophily(adjacency, labels) == pytest.approx(2 / 3)
+
+    def test_empty_graph(self):
+        assert edge_homophily(np.zeros((3, 3)), np.array([0, 1, 2])) == 0.0
+
+    def test_node_homophily_range(self, tiny_graph):
+        value = node_homophily(tiny_graph.adjacency, tiny_graph.labels)
+        assert 0.0 <= value <= 1.0
+
+    def test_class_linking_probabilities_detect_homophily(self, tiny_graph):
+        p, q = class_linking_probabilities(tiny_graph.adjacency, tiny_graph.labels)
+        assert p > q > 0.0
+
+    def test_surrogate_satisfies_proposition_assumptions(self, tiny_graph):
+        assert is_sparse_and_homophilous(tiny_graph.adjacency, tiny_graph.labels)
+
+    def test_surrogate_homophily_close_to_spec(self, tiny_graph, weak_graph):
+        strong = edge_homophily(tiny_graph.adjacency, tiny_graph.labels)
+        weak = edge_homophily(weak_graph.adjacency, weak_graph.labels)
+        assert strong == pytest.approx(0.8, abs=0.1)
+        assert weak == pytest.approx(0.6, abs=0.12)
+        assert strong > weak

@@ -1,0 +1,135 @@
+"""Tests for similarity matrices and Laplacians, including Lemma V.1."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.khop import shortest_path_hops
+from repro.graphs.laplacian import gcn_normalization, laplacian, normalized_laplacian
+from repro.graphs.similarity import cosine_feature_similarity, jaccard_similarity, top_k_sparsify
+
+
+def random_adjacency(num_nodes, edge_probability, seed):
+    rng = np.random.default_rng(seed)
+    upper = np.triu(rng.random((num_nodes, num_nodes)) < edge_probability, k=1)
+    adjacency = (upper | upper.T).astype(float)
+    np.fill_diagonal(adjacency, 0.0)
+    return adjacency
+
+
+class TestJaccard:
+    def test_hand_computed_triangle_plus_leaf(self):
+        # Nodes: 0-1, 1-2, 0-2 triangle and 2-3 leaf.
+        adjacency = np.zeros((4, 4))
+        for i, j in [(0, 1), (1, 2), (0, 2), (2, 3)]:
+            adjacency[i, j] = adjacency[j, i] = 1.0
+        similarity = jaccard_similarity(adjacency, include_self_loops=True)
+        # With self-loops, N(0) = {0,1,2}, N(1) = {0,1,2}: identical → 1.0.
+        assert similarity[0, 1] == pytest.approx(1.0)
+        # N(3) = {2,3}, N(0) = {0,1,2}: intersection {2}, union {0,1,2,3}.
+        assert similarity[0, 3] == pytest.approx(1 / 4)
+
+    def test_symmetric_zero_diagonal(self):
+        adjacency = random_adjacency(20, 0.2, seed=0)
+        similarity = jaccard_similarity(adjacency)
+        np.testing.assert_allclose(similarity, similarity.T)
+        np.testing.assert_allclose(np.diag(similarity), 0.0)
+
+    def test_values_in_unit_interval(self):
+        similarity = jaccard_similarity(random_adjacency(15, 0.3, seed=1))
+        assert similarity.min() >= 0.0 and similarity.max() <= 1.0
+
+    def test_lemma_v1_support(self):
+        """Lemma V.1: S_ij > 0 iff the pair is at most 2 hops apart."""
+        adjacency = random_adjacency(25, 0.12, seed=2)
+        similarity = jaccard_similarity(adjacency, include_self_loops=True)
+        hops = shortest_path_hops(adjacency)
+        n = adjacency.shape[0]
+        for i in range(n):
+            for j in range(i + 1, n):
+                if hops[i, j] in (1, 2):
+                    assert similarity[i, j] > 0, f"pair ({i},{j}) at hop {hops[i,j]}"
+                else:
+                    assert similarity[i, j] == 0, f"pair ({i},{j}) at hop {hops[i,j]}"
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_symmetry_and_range(self, num_nodes, seed):
+        adjacency = random_adjacency(num_nodes, 0.3, seed)
+        similarity = jaccard_similarity(adjacency)
+        assert np.allclose(similarity, similarity.T)
+        assert similarity.min() >= 0.0 and similarity.max() <= 1.0
+
+
+class TestCosineSimilarity:
+    def test_identical_rows(self):
+        features = np.array([[1.0, 0.0], [2.0, 0.0], [0.0, 1.0]])
+        similarity = cosine_feature_similarity(features)
+        assert similarity[0, 1] == pytest.approx(1.0)
+        assert similarity[0, 2] == pytest.approx(0.0)
+
+    def test_zero_rows_do_not_produce_nan(self):
+        features = np.array([[0.0, 0.0], [1.0, 1.0]])
+        similarity = cosine_feature_similarity(features)
+        assert np.all(np.isfinite(similarity))
+
+
+class TestTopKSparsify:
+    def test_keeps_at_most_k_per_row_before_symmetrisation(self):
+        similarity = jaccard_similarity(random_adjacency(12, 0.4, seed=3))
+        sparse = top_k_sparsify(similarity, k=2)
+        assert np.count_nonzero(sparse) <= np.count_nonzero(similarity)
+        np.testing.assert_allclose(sparse, sparse.T)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            top_k_sparsify(np.eye(3), k=0)
+
+
+class TestLaplacians:
+    def test_laplacian_rows_sum_to_zero(self):
+        weights = jaccard_similarity(random_adjacency(10, 0.3, seed=4))
+        lap = laplacian(weights)
+        np.testing.assert_allclose(lap.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_laplacian_quadratic_form_is_pairwise_distance(self):
+        """Tr(Yᵀ L Y) = ½ Σ_ij W_ij ‖Y_i − Y_j‖² — the identity behind Definition 1."""
+        rng = np.random.default_rng(0)
+        weights = jaccard_similarity(random_adjacency(8, 0.4, seed=5))
+        predictions = rng.normal(size=(8, 3))
+        lap = laplacian(weights)
+        trace = np.trace(predictions.T @ lap @ predictions)
+        manual = 0.0
+        for i in range(8):
+            for j in range(8):
+                manual += 0.5 * weights[i, j] * np.sum((predictions[i] - predictions[j]) ** 2)
+        assert trace == pytest.approx(manual)
+
+    def test_laplacian_psd(self):
+        weights = jaccard_similarity(random_adjacency(10, 0.3, seed=6))
+        eigenvalues = np.linalg.eigvalsh(laplacian(weights))
+        assert eigenvalues.min() >= -1e-10
+
+    def test_normalized_laplacian_eigenvalue_range(self):
+        adjacency = random_adjacency(12, 0.3, seed=7)
+        eigenvalues = np.linalg.eigvalsh(normalized_laplacian(adjacency))
+        assert eigenvalues.min() >= -1e-10
+        assert eigenvalues.max() <= 2.0 + 1e-10
+
+    def test_gcn_normalization_symmetric_mode(self):
+        adjacency = random_adjacency(6, 0.5, seed=8)
+        propagation = gcn_normalization(adjacency, mode="symmetric")
+        np.testing.assert_allclose(propagation, propagation.T)
+
+    def test_gcn_normalization_left_mode_row_stochastic(self):
+        adjacency = random_adjacency(6, 0.5, seed=9)
+        propagation = gcn_normalization(adjacency, mode="left")
+        np.testing.assert_allclose(propagation.sum(axis=1), 1.0)
+
+    def test_gcn_normalization_unknown_mode(self):
+        with pytest.raises(ValueError):
+            gcn_normalization(np.zeros((2, 2)), mode="bogus")
+
+    def test_laplacian_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            laplacian(np.zeros((2, 3)))

@@ -1,0 +1,281 @@
+"""Tests for modules, initialisation, optimisers, losses and parameter vectors."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.init import glorot_normal, glorot_uniform, kaiming_uniform, uniform, zeros
+from repro.nn.losses import accuracy, cross_entropy, mse_loss, weighted_cross_entropy
+from repro.nn.module import Dropout, Linear, Module, ModuleList, Parameter, Sequential
+from repro.nn.optim import SGD, Adam
+from repro.nn.parameters import (
+    gradients_to_vector,
+    num_parameters,
+    parameters_to_vector,
+    vector_to_parameters,
+)
+from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.tensor import Tensor
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, rng=0)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Linear(0, 3)
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 2, rng=0)
+        out = layer(Tensor(np.ones((3, 4)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestModuleMechanics:
+    def test_named_parameters_nested(self):
+        seq = Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+        names = [name for name, _ in seq.named_parameters()]
+        assert "layer0.weight" in names and "layer1.bias" in names
+
+    def test_state_dict_roundtrip(self):
+        layer = Linear(3, 3, rng=0)
+        state = layer.state_dict()
+        other = Linear(3, 3, rng=99)
+        other.load_state_dict(state)
+        np.testing.assert_array_equal(layer.weight.data, other.weight.data)
+
+    def test_state_dict_mismatch_raises(self):
+        layer = Linear(3, 3, rng=0)
+        with pytest.raises(KeyError):
+            layer.load_state_dict({"weight": np.zeros((3, 3))})
+
+    def test_state_dict_shape_mismatch_raises(self):
+        layer = Linear(3, 3, rng=0)
+        state = layer.state_dict()
+        state["weight"] = np.zeros((2, 2))
+        with pytest.raises(ValueError):
+            layer.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2, rng=0), Dropout(0.5, rng=0))
+        seq.eval()
+        assert all(not module.training for module in seq.modules())
+        seq.train()
+        assert all(module.training for module in seq.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2, rng=0)
+        layer(Tensor(np.ones((1, 2)))).sum().backward()
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_module_list(self):
+        modules = ModuleList([Linear(2, 2, rng=0), Linear(2, 2, rng=1)])
+        assert len(modules) == 2
+        assert len(modules.parameters()) == 4
+        assert isinstance(modules[1], Linear)
+
+    def test_sequential_forward(self):
+        seq = Sequential(Linear(4, 8, rng=0), Linear(8, 2, rng=1))
+        out = seq(Tensor(np.ones((3, 4))))
+        assert out.shape == (3, 2)
+        assert len(seq) == 2
+
+
+class TestDropout:
+    def test_eval_is_identity(self):
+        layer = Dropout(0.9, rng=0)
+        layer.eval()
+        x = np.ones((4, 4))
+        np.testing.assert_array_equal(layer(Tensor(x)).data, x)
+
+    def test_training_scales_mean(self):
+        layer = Dropout(0.5, rng=0)
+        x = np.ones((2000,))
+        out = layer(Tensor(x)).data
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestInit:
+    def test_zeros(self):
+        np.testing.assert_array_equal(zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_glorot_uniform_bound(self):
+        weights = glorot_uniform((50, 50), rng=0)
+        limit = np.sqrt(6.0 / 100)
+        assert np.all(np.abs(weights) <= limit + 1e-12)
+
+    def test_glorot_normal_std(self):
+        weights = glorot_normal((200, 200), rng=0)
+        assert weights.std() == pytest.approx(np.sqrt(2.0 / 400), rel=0.15)
+
+    def test_uniform_range(self):
+        weights = uniform((100,), low=-0.2, high=0.2, rng=0)
+        assert weights.min() >= -0.2 and weights.max() < 0.2
+
+    def test_kaiming_shape(self):
+        assert kaiming_uniform((10, 5), rng=0).shape == (10, 5)
+
+    def test_deterministic_given_seed(self):
+        np.testing.assert_array_equal(glorot_uniform((3, 3), rng=5), glorot_uniform((3, 3), rng=5))
+
+
+class TestOptimizers:
+    def _quadratic_minimise(self, optimizer_factory, steps=200):
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        optimizer = optimizer_factory([param])
+        for _ in range(steps):
+            optimizer.zero_grad()
+            loss = ((param - Tensor(target)) ** 2).sum()
+            loss.backward()
+            optimizer.step()
+        return param.data, target
+
+    def test_sgd_converges(self):
+        value, target = self._quadratic_minimise(lambda p: SGD(p, lr=0.1))
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_sgd_momentum_converges(self):
+        value, target = self._quadratic_minimise(lambda p: SGD(p, lr=0.05, momentum=0.9))
+        np.testing.assert_allclose(value, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        value, target = self._quadratic_minimise(lambda p: Adam(p, lr=0.1), steps=400)
+        np.testing.assert_allclose(value, target, atol=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        optimizer = SGD([param], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            optimizer.zero_grad()
+            param.grad = np.zeros(1)
+            optimizer.step()
+        assert abs(param.data[0]) < 10.0
+
+    def test_empty_parameters_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+
+class TestLosses:
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        targets = np.array([0, 1])
+        expected = -np.log(np.exp(2.0) / (np.exp(2.0) + 1.0))
+        assert cross_entropy(logits, targets).item() == pytest.approx(expected)
+
+    def test_cross_entropy_reductions(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        targets = np.array([0, 1, 2, 0])
+        per_sample = cross_entropy(logits, targets, reduction="none")
+        total = cross_entropy(logits, targets, reduction="sum")
+        mean = cross_entropy(logits, targets, reduction="mean")
+        assert per_sample.shape == (4,)
+        assert total.item() == pytest.approx(per_sample.data.sum())
+        assert mean.item() == pytest.approx(per_sample.data.mean())
+
+    def test_cross_entropy_rejects_bad_targets(self):
+        logits = Tensor(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            cross_entropy(logits, np.array([0, 5]))
+
+    def test_weighted_cross_entropy_zero_weight_removes_sample(self):
+        logits = Tensor(np.array([[5.0, 0.0], [0.0, 5.0]]))
+        targets = np.array([1, 1])  # first sample is mispredicted
+        uniform = weighted_cross_entropy(logits, targets, np.array([1.0, 1.0]))
+        removed = weighted_cross_entropy(logits, targets, np.array([0.0, 1.0]))
+        assert removed.item() < uniform.item()
+
+    def test_weighted_cross_entropy_validates_shape(self):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            weighted_cross_entropy(logits, np.array([0, 1]), np.array([1.0]))
+
+    def test_weighted_cross_entropy_rejects_negative(self):
+        logits = Tensor(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            weighted_cross_entropy(logits, np.array([0, 1]), np.array([-1.0, 1.0]))
+
+    def test_mse(self):
+        predictions = Tensor(np.array([1.0, 2.0]))
+        assert mse_loss(predictions, np.array([0.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+    def test_accuracy_empty_is_nan(self):
+        assert np.isnan(accuracy(np.zeros((0, 2)), np.zeros(0, dtype=int)))
+
+
+class TestParameterVectors:
+    def test_roundtrip(self):
+        layer = Linear(3, 2, rng=0)
+        vector = parameters_to_vector(layer.parameters())
+        assert vector.shape == (3 * 2 + 2,)
+        vector_to_parameters(vector * 2.0, layer.parameters())
+        np.testing.assert_allclose(parameters_to_vector(layer.parameters()), vector * 2.0)
+
+    def test_wrong_size_raises(self):
+        layer = Linear(3, 2, rng=0)
+        with pytest.raises(ValueError):
+            vector_to_parameters(np.zeros(3), layer.parameters())
+
+    def test_gradients_to_vector_zero_for_missing(self):
+        layer = Linear(2, 2, rng=0)
+        grads = gradients_to_vector(layer.parameters())
+        np.testing.assert_array_equal(grads, np.zeros(6))
+
+    def test_num_parameters(self):
+        assert num_parameters(Linear(4, 3, rng=0)) == 15
+
+
+class TestSerialization:
+    def test_save_and_load(self, tmp_path):
+        layer = Linear(3, 3, rng=0)
+        path = str(tmp_path / "weights.npz")
+        save_state_dict(layer, path)
+        other = Linear(3, 3, rng=1)
+        other.load_state_dict(load_state_dict(path))
+        np.testing.assert_array_equal(layer.weight.data, other.weight.data)
+
+
+class TestFunctional:
+    def test_one_hot(self):
+        encoded = F.one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(encoded, np.array([[1, 0, 0], [0, 0, 1]], dtype=float))
+
+    def test_one_hot_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.one_hot(np.array([3]), 3)
+
+    def test_softmax_rows_sum_to_one(self):
+        out = F.softmax(Tensor(np.random.default_rng(0).normal(size=(5, 4))), axis=1)
+        np.testing.assert_allclose(out.data.sum(axis=1), np.ones(5))
+
+    def test_normalize_rows(self):
+        out = F.normalize_rows(Tensor(np.array([[3.0, 4.0]])))
+        np.testing.assert_allclose(np.linalg.norm(out.data, axis=1), [1.0])
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), p=1.5)

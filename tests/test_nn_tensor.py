@@ -1,0 +1,216 @@
+"""Autodiff correctness tests: analytic gradients vs numerical differentiation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.tensor import Tensor, concatenate, no_grad, stack
+
+
+def numerical_gradient(function, value, eps=1e-6):
+    """Central-difference gradient of a scalar-valued function of an array."""
+    value = np.asarray(value, dtype=np.float64)
+    grad = np.zeros_like(value)
+    flat = value.ravel()
+    grad_flat = grad.ravel()
+    for index in range(flat.size):
+        original = flat[index]
+        flat[index] = original + eps
+        plus = function(value)
+        flat[index] = original - eps
+        minus = function(value)
+        flat[index] = original
+        grad_flat[index] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def check_gradient(build, shape, seed=0, atol=1e-5):
+    """Compare the autodiff gradient of ``build(tensor).sum()`` to numerics."""
+    rng = np.random.default_rng(seed)
+    value = rng.normal(size=shape)
+
+    tensor = Tensor(value.copy(), requires_grad=True)
+    out = build(tensor).sum()
+    out.backward()
+    analytic = tensor.grad
+
+    numeric = numerical_gradient(lambda v: float(build(Tensor(v)).sum().data), value)
+    np.testing.assert_allclose(analytic, numeric, atol=atol)
+
+
+class TestElementwiseGradients:
+    def test_add(self):
+        check_gradient(lambda x: x + 3.0, (3, 4))
+
+    def test_mul(self):
+        check_gradient(lambda x: x * x, (3, 4))
+
+    def test_div(self):
+        check_gradient(lambda x: x / 2.5, (2, 3))
+
+    def test_rdiv(self):
+        check_gradient(lambda x: 1.0 / (x * x + 2.0), (2, 3))
+
+    def test_pow(self):
+        check_gradient(lambda x: (x * x + 1.0) ** 1.5, (4,))
+
+    def test_neg_sub(self):
+        check_gradient(lambda x: -(x - 1.0), (5,))
+
+    def test_exp_log(self):
+        check_gradient(lambda x: ((x * x) + 0.5).log().exp(), (3, 3))
+
+    def test_sigmoid(self):
+        check_gradient(lambda x: x.sigmoid(), (6,))
+
+    def test_tanh(self):
+        check_gradient(lambda x: x.tanh(), (6,))
+
+    def test_relu(self):
+        check_gradient(lambda x: (x + 0.05).relu(), (10,), seed=3)
+
+    def test_leaky_relu(self):
+        check_gradient(lambda x: (x + 0.05).leaky_relu(0.1), (10,), seed=3)
+
+    def test_elu(self):
+        check_gradient(lambda x: x.elu(), (10,), seed=4)
+
+    def test_abs(self):
+        check_gradient(lambda x: (x + 0.1).abs(), (8,), seed=5)
+
+    def test_sqrt(self):
+        check_gradient(lambda x: (x * x + 1.0).sqrt(), (5,))
+
+
+class TestMatrixGradients:
+    def test_matmul_left(self):
+        rng = np.random.default_rng(0)
+        other = rng.normal(size=(4, 2))
+        check_gradient(lambda x: x.matmul(Tensor(other)), (3, 4))
+
+    def test_matmul_right(self):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(3, 4))
+        check_gradient(lambda x: Tensor(other).matmul(x), (4, 2))
+
+    def test_transpose(self):
+        check_gradient(lambda x: x.T * 2.0, (3, 5))
+
+    def test_reshape(self):
+        check_gradient(lambda x: x.reshape(6) * 3.0, (2, 3))
+
+    def test_getitem_rows(self):
+        index = np.array([0, 2, 2])
+        check_gradient(lambda x: x[index] * 2.0, (4, 3))
+
+    def test_softmax(self):
+        check_gradient(lambda x: x.softmax(axis=1), (3, 4))
+
+    def test_log_softmax(self):
+        check_gradient(lambda x: x.log_softmax(axis=1), (3, 4))
+
+    def test_masked_fill(self):
+        mask = np.array([[True, False], [False, True]])
+        check_gradient(lambda x: x.masked_fill(mask, -5.0), (2, 2))
+
+    def test_concatenate(self):
+        rng = np.random.default_rng(2)
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda x: concatenate([x, Tensor(other)], axis=0), (2, 3))
+
+    def test_stack(self):
+        rng = np.random.default_rng(2)
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda x: stack([x, Tensor(other)], axis=0), (2, 3))
+
+
+class TestReductionGradients:
+    def test_sum_all(self):
+        check_gradient(lambda x: x * 1.0, (4, 4))
+
+    def test_sum_axis(self):
+        check_gradient(lambda x: x.sum(axis=0), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_gradient(lambda x: x.sum(axis=1, keepdims=True) * x, (3, 4))
+
+    def test_mean(self):
+        check_gradient(lambda x: x.mean(axis=1), (3, 4))
+
+    def test_max(self):
+        check_gradient(lambda x: x.max(axis=1), (3, 4), seed=9)
+
+
+class TestBroadcasting:
+    def test_row_vector_broadcast(self):
+        rng = np.random.default_rng(0)
+        row = rng.normal(size=(1, 4))
+        check_gradient(lambda x: x + Tensor(row), (3, 4))
+
+    def test_bias_gradient_accumulates(self):
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        x = Tensor(np.ones((5, 3)))
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 5.0))
+
+    def test_scalar_broadcast(self):
+        scalar = Tensor(2.0, requires_grad=True)
+        x = Tensor(np.ones((2, 3)))
+        (x * scalar).sum().backward()
+        assert scalar.grad == pytest.approx(6.0)
+
+    @given(
+        rows=st.integers(min_value=1, max_value=4),
+        cols=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_broadcast_shapes_match(self, rows, cols):
+        left = Tensor(np.ones((rows, cols)), requires_grad=True)
+        right = Tensor(np.ones((1, cols)), requires_grad=True)
+        (left * right).sum().backward()
+        assert left.grad.shape == (rows, cols)
+        assert right.grad.shape == (1, cols)
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulation_over_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(2 * 2.0 + 3.0)
+
+    def test_no_grad_blocks_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x.detach() * 2.0
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2.0).backward()
+
+    def test_backward_on_constant_raises(self):
+        x = Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            x.sum().backward()
+
+    def test_deep_chain_does_not_overflow(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 1.0
+        y.backward()
+        assert x.grad[0] == pytest.approx(1.0)
+
+    def test_item_and_shape(self):
+        x = Tensor(np.array([[3.0]]))
+        assert x.item() == 3.0
+        assert x.shape == (1, 1)
+        assert x.ndim == 2
+        assert x.size == 1

@@ -1,0 +1,146 @@
+"""Tests for the QCLP solver and the projection primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.optimization.projections import (
+    project_onto_ball,
+    project_onto_box,
+    project_onto_halfspace,
+)
+from repro.optimization.qclp import QCLPProblem, solve_qclp
+
+
+class TestProjections:
+    def test_box_projection(self):
+        np.testing.assert_allclose(
+            project_onto_box(np.array([-2.0, 0.5, 3.0]), -1.0, 1.0), [-1.0, 0.5, 1.0]
+        )
+
+    def test_box_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            project_onto_box(np.zeros(2), 1.0, -1.0)
+
+    def test_ball_projection_inside_is_identity(self):
+        x = np.array([0.3, 0.4])
+        np.testing.assert_allclose(project_onto_ball(x, 1.0), x)
+
+    def test_ball_projection_outside_scales_to_radius(self):
+        projected = project_onto_ball(np.array([3.0, 4.0]), 1.0)
+        assert np.linalg.norm(projected) == pytest.approx(1.0)
+
+    def test_ball_negative_radius(self):
+        with pytest.raises(ValueError):
+            project_onto_ball(np.ones(2), -1.0)
+
+    def test_halfspace_projection(self):
+        normal = np.array([1.0, 0.0])
+        inside = project_onto_halfspace(np.array([0.5, 2.0]), normal, 1.0)
+        np.testing.assert_allclose(inside, [0.5, 2.0])
+        outside = project_onto_halfspace(np.array([3.0, 2.0]), normal, 1.0)
+        np.testing.assert_allclose(outside, [1.0, 2.0])
+
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_property_projections_land_in_sets(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=6) * 5
+        assert np.all(np.abs(project_onto_box(x, -1, 1)) <= 1 + 1e-12)
+        assert np.linalg.norm(project_onto_ball(x, 2.0)) <= 2.0 + 1e-9
+        normal = rng.normal(size=6)
+        projected = project_onto_halfspace(x, normal, 0.5)
+        assert float(normal @ projected) <= 0.5 + 1e-8
+
+
+class TestQCLPProblem:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QCLPProblem(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            QCLPProblem(np.ones(3), np.ones(3), alpha=0.0)
+        with pytest.raises(ValueError):
+            QCLPProblem(np.ones((2, 2)), np.ones((2, 2)))
+
+    def test_budgets(self):
+        problem = QCLPProblem(np.ones(4), np.array([1.0, -1.0, 2.0, 0.0]), alpha=0.5, beta=0.2)
+        assert problem.ball_radius_squared == pytest.approx(2.0)
+        assert problem.utility_budget == pytest.approx(0.2 * 3.0)
+
+
+class TestSolveQCLP:
+    def _random_problem(self, seed, size=30):
+        rng = np.random.default_rng(seed)
+        return QCLPProblem(
+            bias_influence=rng.normal(size=size),
+            utility_influence=rng.normal(size=size) * 0.1,
+            alpha=0.9,
+            beta=0.1,
+        )
+
+    def test_solution_is_feasible(self):
+        problem = self._random_problem(0)
+        solution = solve_qclp(problem)
+        weights = solution.weights
+        assert solution.feasible
+        assert np.all(weights >= -1.0 - 1e-6) and np.all(weights <= 1.0 + 1e-6)
+        assert float(weights @ weights) <= problem.ball_radius_squared * 1.001
+        assert float(problem.utility_influence @ weights) <= problem.utility_budget + 1e-6
+
+    def test_objective_not_worse_than_zero(self):
+        """w = 0 is always feasible, so the optimum must be ≤ 0."""
+        for seed in range(5):
+            solution = solve_qclp(self._random_problem(seed))
+            assert solution.objective <= 1e-9
+
+    def test_backends_agree(self):
+        problem = self._random_problem(3)
+        slsqp = solve_qclp(problem, backend="slsqp")
+        projected = solve_qclp(problem, backend="projected", max_iterations=500)
+        assert projected.feasible
+        # The projected solver is a fallback: it must reach a comparable optimum.
+        assert projected.objective <= 0.7 * slsqp.objective or projected.objective <= slsqp.objective + 1e-6
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            solve_qclp(self._random_problem(0), backend="gurobi")
+
+    def test_empty_problem(self):
+        solution = solve_qclp(QCLPProblem(np.zeros(0), np.zeros(0)))
+        assert solution.weights.size == 0 and solution.feasible
+
+    def test_matches_brute_force_on_tiny_problem(self):
+        """With a loose utility constraint the optimum is the box/ball LP solution."""
+        c = np.array([1.0, -2.0, 0.5])
+        u = np.zeros(3)
+        problem = QCLPProblem(c, u, alpha=10.0, beta=1.0)  # ball constraint inactive
+        solution = solve_qclp(problem)
+        expected = np.array([-1.0, 1.0, -1.0])  # sign pattern minimising c·w in the box
+        np.testing.assert_allclose(solution.weights, expected, atol=1e-4)
+
+    def test_ball_constraint_binds(self):
+        c = -np.ones(100)
+        u = np.zeros(100)
+        problem = QCLPProblem(c, u, alpha=0.25, beta=1.0)  # ‖w‖² ≤ 25 < 100
+        solution = solve_qclp(problem)
+        assert float(solution.weights @ solution.weights) <= 25.0 * 1.01
+        assert float(solution.weights @ solution.weights) >= 20.0  # constraint is active
+
+    def test_utility_constraint_binds(self):
+        c = -np.ones(10)
+        u = np.ones(10)  # any positive weight costs utility
+        problem = QCLPProblem(c, u, alpha=10.0, beta=0.1)
+        solution = solve_qclp(problem)
+        assert float(u @ solution.weights) <= problem.utility_budget + 1e-6
+
+    def test_summary_keys(self):
+        solution = solve_qclp(self._random_problem(1))
+        summary = solution.summary()
+        assert {"objective", "feasible", "backend", "weight_norm"} <= set(summary)
+
+    @given(seed=st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_property_feasibility_random_problems(self, seed):
+        problem = self._random_problem(seed, size=15)
+        solution = solve_qclp(problem)
+        assert solution.feasible

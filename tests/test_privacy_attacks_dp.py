@@ -1,0 +1,209 @@
+"""Tests for the link-stealing / LinkTeller attacks, risk metrics and edge DP."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.privacy.attacks.link_stealing import (
+    AttackResult,
+    LinkStealingAttack,
+    sample_attack_pairs,
+)
+from repro.privacy.attacks.linkteller import LinkTellerAttack
+from repro.privacy.dp import dp_flip_probability, edge_rand, expected_flipped_edges, lap_graph
+from repro.privacy.risk import (
+    edge_privacy_risk,
+    embedding_sensitivity,
+    empirical_embedding_sensitivity,
+    normalized_edge_privacy_risk,
+    risk_report,
+)
+from repro.graphs.perturb import symmetric_difference
+
+
+class TestSampleAttackPairs:
+    def test_balanced_by_default(self, tiny_graph):
+        pairs, labels = sample_attack_pairs(tiny_graph, rng=np.random.default_rng(0))
+        assert labels.sum() == tiny_graph.num_edges
+        assert (labels == 0).sum() == tiny_graph.num_edges
+        assert pairs.shape == (2 * tiny_graph.num_edges, 2)
+
+    def test_positive_pairs_are_edges(self, tiny_graph):
+        pairs, labels = sample_attack_pairs(tiny_graph, rng=np.random.default_rng(0))
+        for (i, j), label in zip(pairs, labels):
+            assert tiny_graph.adjacency[i, j] == (1.0 if label == 1 else 0.0)
+
+    def test_custom_negative_count(self, tiny_graph):
+        pairs, labels = sample_attack_pairs(tiny_graph, num_negative=10, rng=np.random.default_rng(0))
+        assert (labels == 0).sum() == 10
+
+
+class TestLinkStealingAttack:
+    def test_attack_succeeds_on_trained_model(self, trained_gcn, tiny_graph):
+        """On a homophilous graph, Attack-0 must beat random guessing by a margin."""
+        attack = LinkStealingAttack(seed=0)
+        result = attack.evaluate(trained_gcn, tiny_graph)
+        assert result.mean_auc > 0.6
+        assert result.max_auc >= result.mean_auc
+        assert len(result.auc_per_metric) == 8
+
+    def test_attack_fails_on_uninformative_posteriors(self, tiny_graph):
+        attack = LinkStealingAttack(metrics=["cosine", "euclidean"], seed=0)
+        uniform = np.full((tiny_graph.num_nodes, 3), 1.0 / 3.0)
+        pairs, labels = sample_attack_pairs(tiny_graph, rng=np.random.default_rng(0))
+        result = attack.evaluate_posteriors(uniform, pairs, labels)
+        assert result.mean_auc == pytest.approx(0.5, abs=0.05)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(KeyError):
+            LinkStealingAttack(metrics=["cosine", "hamming"])
+
+    def test_predict_edges_clusters_close_pairs(self):
+        attack = LinkStealingAttack(seed=0)
+        posteriors = np.array(
+            [[0.9, 0.1], [0.88, 0.12], [0.1, 0.9], [0.12, 0.88]]
+        )
+        pairs = np.array([[0, 1], [2, 3], [0, 2], [1, 3]])
+        predictions = attack.predict_edges(posteriors, pairs, metric="euclidean")
+        assert predictions[0] and predictions[1]
+        assert not predictions[2] and not predictions[3]
+
+    def test_result_to_dict(self, trained_gcn, tiny_graph):
+        result = LinkStealingAttack(metrics=["cosine"], seed=0).evaluate(trained_gcn, tiny_graph)
+        flat = result.to_dict()
+        assert "mean_auc" in flat and "auc_cosine" in flat
+
+    def test_empty_result_mean_auc_nan(self):
+        assert np.isnan(AttackResult().mean_auc)
+
+
+class TestLinkTeller:
+    def test_influence_attack_beats_random(self, trained_gcn, tiny_graph):
+        attack = LinkTellerAttack(perturbation=1e-2)
+        auc = attack.evaluate(trained_gcn, tiny_graph, num_pairs=40, rng=0)
+        assert auc > 0.55
+
+    def test_invalid_perturbation(self):
+        with pytest.raises(ValueError):
+            LinkTellerAttack(perturbation=0.0)
+
+
+class TestRiskMetrics:
+    def test_risk_positive_for_trained_model(self, trained_gcn, tiny_graph):
+        posteriors = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        risk = edge_privacy_risk(posteriors, tiny_graph, num_unconnected=500)
+        assert risk > 0.0
+
+    def test_risk_zero_for_constant_posteriors(self, tiny_graph):
+        uniform = np.full((tiny_graph.num_nodes, 3), 1.0 / 3.0)
+        assert edge_privacy_risk(uniform, tiny_graph, num_unconnected=200) == pytest.approx(0.0)
+
+    def test_normalized_risk_non_negative(self, trained_gcn, tiny_graph):
+        posteriors = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        assert normalized_edge_privacy_risk(posteriors, tiny_graph, num_unconnected=500) >= 0.0
+
+    def test_risk_report_fields(self, trained_gcn, tiny_graph):
+        posteriors = trained_gcn.predict_proba(tiny_graph.features, tiny_graph.adjacency)
+        report = risk_report(posteriors, tiny_graph, num_unconnected=500)
+        assert report["mean_connected_distance"] <= report["mean_unconnected_distance"]
+        assert report["num_connected_pairs"] == tiny_graph.num_edges
+
+    def test_embedding_sensitivity_formula(self):
+        # δ = d1_i/((d_i+1)(d_i+2)) − d1_j/((d_j+1)(d_j+2)), scaled by ‖μ1−μ0‖.
+        value = embedding_sensitivity(3, 1, 2, 0, class_mean_distance=2.0)
+        expected = 2.0 * abs(2 / (4 * 5) - 0 / (2 * 3))
+        assert value == pytest.approx(expected)
+
+    def test_embedding_sensitivity_validation(self):
+        with pytest.raises(ValueError):
+            embedding_sensitivity(1, 1, 2, 0, 1.0)
+
+    def test_eq20_larger_class_separation_leaks_more(self):
+        """Eq. (20): larger ‖μ1 − μ0‖ (better separated classes) means higher sensitivity."""
+        small = embedding_sensitivity(4, 2, 1, 0, class_mean_distance=0.5)
+        large = embedding_sensitivity(4, 2, 1, 0, class_mean_distance=5.0)
+        assert large > small
+
+    def test_empirical_sensitivity_grows_with_separation(self):
+        """The measured one-hop aggregation shift follows the analytic trend of Eq. (20).
+
+        Node 3 has two inter-class neighbours while node 6 has none, so the
+        δ factor of Eq. (20) is nonzero and the sensitivity of the intra-class
+        pair (3, 6) must scale with the class-mean separation ‖μ1 − μ0‖.
+        """
+        rng = np.random.default_rng(0)
+        adjacency = np.zeros((20, 20))
+        for i in range(9):
+            adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+        for inter_neighbor in (10, 11):  # give node 3 two class-1 neighbours
+            adjacency[3, inter_neighbor] = adjacency[inter_neighbor, 3] = 1.0
+        labels = np.array([0] * 10 + [1] * 10)
+        pair = (3, 6)
+        noise = 0.01 * rng.normal(size=(20, 4))
+
+        def build_embeddings(separation):
+            means = np.array([[0.0] * 4, [separation] * 4])
+            return means[labels] + noise
+
+        low = empirical_embedding_sensitivity(build_embeddings(0.2), adjacency, pair)
+        high = empirical_embedding_sensitivity(build_embeddings(4.0), adjacency, pair)
+        assert high > low
+
+
+class TestEdgeDP:
+    def test_flip_probability_decreases_with_epsilon(self):
+        assert dp_flip_probability(1.0) > dp_flip_probability(4.0) > dp_flip_probability(8.0)
+        assert 0.0 < dp_flip_probability(8.0) < 0.5
+
+    def test_edge_rand_output_valid(self, tiny_graph):
+        noisy = edge_rand(tiny_graph.adjacency, epsilon=2.0, rng=0)
+        np.testing.assert_allclose(noisy, noisy.T)
+        assert np.all(np.diag(noisy) == 0)
+        assert set(np.unique(noisy)) <= {0.0, 1.0}
+
+    def test_edge_rand_more_noise_for_smaller_epsilon(self, tiny_graph):
+        strong = edge_rand(tiny_graph.adjacency, epsilon=1.0, rng=0)
+        weak = edge_rand(tiny_graph.adjacency, epsilon=6.0, rng=0)
+        assert symmetric_difference(tiny_graph.adjacency, strong) > symmetric_difference(
+            tiny_graph.adjacency, weak
+        )
+
+    def test_edge_rand_expected_flips(self, tiny_graph):
+        epsilon = 2.0
+        expected = expected_flipped_edges(tiny_graph.adjacency, epsilon)
+        observed = np.mean(
+            [
+                symmetric_difference(tiny_graph.adjacency, edge_rand(tiny_graph.adjacency, epsilon, rng=s))
+                for s in range(5)
+            ]
+        )
+        assert observed == pytest.approx(expected, rel=0.3)
+
+    def test_lap_graph_preserves_edge_count(self, tiny_graph):
+        noisy = lap_graph(tiny_graph.adjacency, epsilon=3.0, rng=0)
+        original_edges = np.count_nonzero(np.triu(tiny_graph.adjacency, k=1))
+        noisy_edges = np.count_nonzero(np.triu(noisy, k=1))
+        assert noisy_edges == pytest.approx(original_edges, rel=0.05)
+
+    def test_lap_graph_large_epsilon_recovers_graph(self, tiny_graph):
+        noisy = lap_graph(tiny_graph.adjacency, epsilon=1000.0, rng=0)
+        assert symmetric_difference(tiny_graph.adjacency, noisy) <= tiny_graph.num_edges * 0.05
+
+    def test_lap_graph_empty_graph(self):
+        empty = np.zeros((4, 4))
+        np.testing.assert_array_equal(lap_graph(empty, epsilon=1.0, rng=0), empty)
+
+    def test_epsilon_validation(self, tiny_graph):
+        with pytest.raises(ValueError):
+            edge_rand(tiny_graph.adjacency, epsilon=0.0)
+        with pytest.raises(ValueError):
+            lap_graph(tiny_graph.adjacency, epsilon=-1.0)
+
+    @given(epsilon=st.floats(min_value=0.5, max_value=10.0))
+    @settings(max_examples=10, deadline=None)
+    def test_property_edge_rand_symmetric(self, epsilon):
+        adjacency = np.zeros((8, 8))
+        adjacency[0, 1] = adjacency[1, 0] = 1.0
+        noisy = edge_rand(adjacency, epsilon, rng=0)
+        assert np.allclose(noisy, noisy.T)
+        assert np.all(np.diag(noisy) == 0)

@@ -1,0 +1,127 @@
+"""Tests for the attack distance metrics and the AUC implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.spatial import distance as sp_distance
+
+from repro.privacy.auc import roc_auc_score, roc_curve
+from repro.privacy.distances import (
+    DISTANCE_METRICS,
+    distance_matrix,
+    pairwise_posterior_distance,
+)
+
+SCIPY_EQUIVALENTS = {
+    "cosine": sp_distance.cosine,
+    "euclidean": sp_distance.euclidean,
+    "correlation": sp_distance.correlation,
+    "chebyshev": sp_distance.chebyshev,
+    "braycurtis": sp_distance.braycurtis,
+    "canberra": sp_distance.canberra,
+    "cityblock": sp_distance.cityblock,
+    "sqeuclidean": sp_distance.sqeuclidean,
+}
+
+
+class TestDistances:
+    def test_eight_metrics_registered(self):
+        assert set(DISTANCE_METRICS) == set(SCIPY_EQUIVALENTS)
+
+    @pytest.mark.parametrize("metric", sorted(DISTANCE_METRICS))
+    def test_matches_scipy(self, metric):
+        rng = np.random.default_rng(0)
+        posteriors = rng.dirichlet(np.ones(4), size=10)
+        pairs = np.array([[0, 1], [2, 3], [4, 5], [6, 7], [8, 9]])
+        ours = pairwise_posterior_distance(posteriors, pairs, metric)
+        reference = np.array(
+            [SCIPY_EQUIVALENTS[metric](posteriors[i], posteriors[j]) for i, j in pairs]
+        )
+        np.testing.assert_allclose(ours, reference, atol=1e-10)
+
+    @pytest.mark.parametrize("metric", sorted(DISTANCE_METRICS))
+    def test_identical_rows_have_zero_distance(self, metric):
+        posteriors = np.tile(np.array([0.25, 0.25, 0.5]), (4, 1))
+        distances = pairwise_posterior_distance(posteriors, np.array([[0, 1], [2, 3]]), metric)
+        np.testing.assert_allclose(distances, 0.0, atol=1e-12)
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(KeyError):
+            pairwise_posterior_distance(np.zeros((2, 2)), np.array([[0, 1]]), "hamming")
+
+    def test_pair_index_validation(self):
+        with pytest.raises(ValueError):
+            pairwise_posterior_distance(np.zeros((2, 2)), np.array([[0, 5]]), "cosine")
+
+    def test_empty_pairs(self):
+        assert pairwise_posterior_distance(np.zeros((2, 2)), np.zeros((0, 2)), "cosine").size == 0
+
+    def test_distance_matrix_zero_diagonal(self):
+        rng = np.random.default_rng(1)
+        posteriors = rng.dirichlet(np.ones(3), size=5)
+        matrix = distance_matrix(posteriors, "euclidean")
+        np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
+        np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score(labels, scores) == 1.0
+
+    def test_perfect_inverse(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc_score(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_are_midranked(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.5, 0.5, 0.5, 0.5])
+        assert roc_auc_score(labels, scores) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc_score(np.array([1, 1]), np.array([0.1, 0.2]))
+
+    def test_matches_pairwise_definition(self):
+        rng = np.random.default_rng(2)
+        labels = rng.integers(0, 2, size=60)
+        if labels.sum() == 0 or labels.sum() == 60:
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=60)
+        positives = scores[labels == 1]
+        negatives = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in positives for n in negatives)
+        expected = wins / (positives.size * negatives.size)
+        assert roc_auc_score(labels, scores) == pytest.approx(expected)
+
+    @given(seed=st.integers(min_value=0, max_value=500))
+    @settings(max_examples=25, deadline=None)
+    def test_property_flipping_scores_flips_auc(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=30)
+        if labels.sum() in (0, 30):
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=30)
+        auc = roc_auc_score(labels, scores)
+        flipped = roc_auc_score(labels, -scores)
+        assert auc + flipped == pytest.approx(1.0)
+
+    def test_roc_curve_monotone(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=50)
+        labels[0], labels[1] = 0, 1
+        scores = rng.normal(size=50)
+        fpr, tpr, thresholds = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == pytest.approx(1.0) and tpr[-1] == pytest.approx(1.0)
+        assert thresholds[0] == np.inf

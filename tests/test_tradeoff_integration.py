@@ -1,0 +1,120 @@
+"""Integration tests of the paper's central claims on small surrogates.
+
+These tests exercise the full stack (data → training → fairness → attack) and
+assert the *qualitative* shapes the paper reports, at sizes small enough for
+the regular test suite.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import MethodSettings, PPFRConfig
+from repro.core.pipeline import run_all_methods
+from repro.fairness.inform import bias_from_graph, inform_regularizer
+from repro.fairness.reweighting import FairnessReweightingConfig
+from repro.gnn.models import build_model
+from repro.gnn.trainer import TrainConfig, Trainer
+from repro.influence.functions import InfluenceConfig
+from repro.privacy.attacks.link_stealing import LinkStealingAttack
+from repro.privacy.risk import risk_report
+
+
+@pytest.fixture(scope="module")
+def regularised_pair(tiny_graph):
+    """A vanilla-trained and a fairness-regularised GCN on the same graph."""
+    config = TrainConfig(epochs=60, patience=None, track_best=False)
+    vanilla = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=0)
+    Trainer(vanilla, config).fit(tiny_graph)
+    fair = build_model("gcn", tiny_graph.num_features, tiny_graph.num_classes, hidden_features=8, rng=0)
+    Trainer(fair, config).fit(tiny_graph, regularizers=[inform_regularizer(weight=200.0)])
+    return vanilla, fair
+
+
+class TestPropositionV2:
+    """RQ1: improving individual fairness increases edge privacy risk."""
+
+    def test_regularisation_reduces_bias(self, regularised_pair, tiny_graph):
+        vanilla, fair = regularised_pair
+        bias_vanilla = bias_from_graph(
+            vanilla.predict_proba(tiny_graph.features, tiny_graph.adjacency), tiny_graph
+        )
+        bias_fair = bias_from_graph(
+            fair.predict_proba(tiny_graph.features, tiny_graph.adjacency), tiny_graph
+        )
+        assert bias_fair < bias_vanilla
+
+    def test_regularisation_does_not_reduce_attack_auc(self, regularised_pair, tiny_graph):
+        """The trade-off direction: the fairer model must not be safer to attack."""
+        vanilla, fair = regularised_pair
+        attack = LinkStealingAttack(seed=0)
+        auc_vanilla = attack.evaluate(vanilla, tiny_graph).mean_auc
+        auc_fair = attack.evaluate(fair, tiny_graph).mean_auc
+        assert auc_fair >= auc_vanilla - 0.01
+
+    def test_relative_separation_does_not_shrink(self, regularised_pair, tiny_graph):
+        """Mechanism of Proposition V.2: min f_bias shrinks d1 at least as fast as d0.
+
+        The attacker separates connected from unconnected pairs by the *relative*
+        gap (d0 − d1) / d0; improving fairness must not shrink that gap.
+        """
+        vanilla, fair = regularised_pair
+
+        def relative_gap(model):
+            report = risk_report(
+                model.predict_proba(tiny_graph.features, tiny_graph.adjacency),
+                tiny_graph,
+                num_unconnected=1000,
+            )
+            d0 = report["mean_unconnected_distance"]
+            d1 = report["mean_connected_distance"]
+            return (d0 - d1) / max(d0, 1e-12)
+
+        assert relative_gap(fair) >= relative_gap(vanilla) - 0.02
+
+
+class TestPPFRShape:
+    """RQ2: PPFR improves fairness with restricted risk and limited accuracy cost."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self, tiny_graph):
+        settings = MethodSettings(
+            train=TrainConfig(epochs=40, patience=None, track_best=False),
+            fairness_weight=100.0,
+            dp_epsilon=4.0,
+            ppfr=PPFRConfig(
+                gamma=0.2,
+                fine_tune_fraction=0.2,
+                reweighting=FairnessReweightingConfig(
+                    influence=InfluenceConfig(damping=0.1, cg_iterations=8)
+                ),
+            ),
+        )
+        return run_all_methods(
+            tiny_graph, "gcn", settings, methods=["reg", "dpreg", "ppfr"], hidden_features=8
+        )
+
+    def test_reg_trades_risk_for_fairness(self, outcome):
+        reg = outcome["deltas"]["reg"]
+        assert reg.delta_bias < 0
+        assert reg.delta_risk > -0.02  # risk not meaningfully reduced by fairness alone
+
+    def test_ppfr_improves_both_dimensions(self, outcome):
+        ppfr = outcome["deltas"]["ppfr"]
+        assert ppfr.delta_bias < 0
+        assert ppfr.delta_risk <= 0.005
+
+    def test_ppfr_keeps_a_bounded_accuracy_cost(self, outcome):
+        """PPFR balances fairness and privacy at a bounded accuracy cost (Δ > 0).
+
+        The cross-method ordering against DPReg (PPFR cheaper in accuracy) is a
+        graph-size-dependent effect; it is asserted at experiment scale by the
+        Table IV benchmark rather than on this tiny fixture.
+        """
+        ppfr = outcome["deltas"]["ppfr"]
+        assert abs(ppfr.delta_accuracy) < 0.25
+        assert ppfr.delta_combined > 0
+
+    def test_all_models_remain_better_than_chance(self, outcome, tiny_graph):
+        chance = 1.0 / tiny_graph.num_classes
+        for evaluation in outcome["evaluations"].values():
+            assert evaluation.accuracy > chance

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_seed, ensure_rng, optional_seed, spawn_children
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_invalid_type_raises(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not-a-seed")
+
+
+class TestSpawnChildren:
+    def test_count(self):
+        children = spawn_children(0, 4)
+        assert len(children) == 4
+
+    def test_deterministic_from_int_seed(self):
+        first = [g.random() for g in spawn_children(5, 3)]
+        second = [g.random() for g in spawn_children(5, 3)]
+        assert first == second
+
+    def test_children_are_independent(self):
+        a, b = spawn_children(1, 2)
+        assert not np.allclose(a.random(10), b.random(10))
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_children(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_children(0, 0) == []
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(3, "cora", "split") == derive_seed(3, "cora", "split")
+
+    def test_label_sensitivity(self):
+        assert derive_seed(3, "cora") != derive_seed(3, "citeseer")
+
+    def test_in_int32_range(self):
+        value = derive_seed(0, "anything")
+        assert 0 <= value < 2**31
+
+
+class TestOptionalSeed:
+    def test_none(self):
+        assert optional_seed(None) is None
+
+    def test_generator(self):
+        value = optional_seed(np.random.default_rng(0))
+        assert isinstance(value, int)

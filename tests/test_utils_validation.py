@@ -1,0 +1,108 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils.validation import (
+    check_adjacency,
+    check_features,
+    check_in_range,
+    check_labels,
+    check_mask,
+    check_positive,
+    check_probability,
+    check_symmetric,
+)
+
+
+class TestCheckAdjacency:
+    def test_accepts_valid(self):
+        adjacency = np.array([[0.0, 1.0], [1.0, 0.0]])
+        out = check_adjacency(adjacency)
+        assert out.dtype == np.float64
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            check_adjacency(np.zeros((2, 3)))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="negative"):
+            check_adjacency(np.array([[0.0, -1.0], [-1.0, 0.0]]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="non-finite"):
+            check_adjacency(np.array([[0.0, np.nan], [np.nan, 0.0]]))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            check_adjacency(np.zeros(4))
+
+
+class TestCheckSymmetric:
+    def test_accepts_symmetric(self):
+        check_symmetric(np.eye(3))
+
+    def test_rejects_asymmetric(self):
+        matrix = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(ValueError, match="symmetric"):
+            check_symmetric(matrix)
+
+
+class TestCheckFeatures:
+    def test_row_count_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            check_features(np.zeros((3, 2)), num_nodes=4)
+
+    def test_rejects_inf(self):
+        with pytest.raises(ValueError):
+            check_features(np.array([[np.inf, 0.0]]))
+
+
+class TestCheckLabels:
+    def test_casts_float_integers(self):
+        labels = check_labels(np.array([0.0, 1.0, 2.0]))
+        assert labels.dtype == np.int64
+
+    def test_rejects_fractional(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0.5, 1.0]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([-1, 0]))
+
+    def test_rejects_out_of_range_class(self):
+        with pytest.raises(ValueError):
+            check_labels(np.array([0, 3]), num_classes=3)
+
+
+class TestScalarChecks:
+    def test_probability_bounds(self):
+        assert check_probability(0.5) == 0.5
+        with pytest.raises(ValueError):
+            check_probability(1.5)
+
+    def test_positive_strict(self):
+        assert check_positive(1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive(0.0)
+
+    def test_positive_non_strict(self):
+        assert check_positive(0.0, strict=False) == 0.0
+        with pytest.raises(ValueError):
+            check_positive(-1.0, strict=False)
+
+    def test_in_range(self):
+        assert check_in_range(0.3, 0.0, 1.0) == 0.3
+        with pytest.raises(ValueError):
+            check_in_range(2.0, 0.0, 1.0)
+
+
+class TestCheckMask:
+    def test_requires_bool(self):
+        with pytest.raises(ValueError, match="boolean"):
+            check_mask(np.array([0, 1]))
+
+    def test_length_check(self):
+        with pytest.raises(ValueError):
+            check_mask(np.array([True, False]), num_nodes=3)
