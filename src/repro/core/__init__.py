@@ -14,7 +14,7 @@ DPFR), the combined effectiveness metric Δ (Eq. 22) and the evaluation
 harness shared by all experiments.
 """
 
-from repro.core.config import PPFRConfig, MethodSettings
+from repro.core.config import ComputeConfig, PPFRConfig, MethodSettings
 from repro.core.perturbation import privacy_aware_perturbation, PerturbationResult
 from repro.core.results import MethodEvaluation, MethodRun, evaluate_method
 from repro.core.delta import delta_report, DeltaReport
@@ -30,6 +30,7 @@ from repro.core.ppfr import run_ppfr
 from repro.core.pipeline import METHOD_RUNNERS, run_method, run_all_methods
 
 __all__ = [
+    "ComputeConfig",
     "PPFRConfig",
     "MethodSettings",
     "privacy_aware_perturbation",

@@ -2,11 +2,45 @@
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import ContextManager, Optional
 
 from repro.fairness.reweighting import FairnessReweightingConfig
 from repro.gnn.trainer import TrainConfig
+from repro.sparse.backend import available_backends, use_backend
+
+
+@dataclass
+class ComputeConfig:
+    """Compute-backend selection for graph propagation.
+
+    Attributes
+    ----------
+    backend:
+        ``"dense"``, ``"sparse"``, ``"auto"`` (nnz-density heuristic, see
+        :mod:`repro.sparse.backend`) or ``None`` to inherit whatever backend
+        the surrounding context selected — e.g. the experiment CLI's
+        ``--backend`` flag.  ``None`` is the default so per-method settings
+        do not silently override a run-wide choice.
+    """
+
+    backend: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.backend is not None:
+            allowed = set(available_backends()) | {"auto"}
+            if self.backend not in allowed:
+                raise ValueError(
+                    f"backend must be one of {sorted(allowed)} or None, "
+                    f"got {self.backend!r}"
+                )
+
+    def activate(self) -> ContextManager[None]:
+        """Context manager applying this selection (no-op when inheriting)."""
+        if self.backend is None:
+            return contextlib.nullcontext()
+        return use_backend(self.backend)
 
 
 @dataclass
@@ -71,6 +105,9 @@ class MethodSettings:
         PPFR-specific settings.
     attack_seed:
         Seed of the link-stealing evaluation (negative-pair sampling).
+    compute:
+        Compute-backend selection (dense / sparse / auto) applied around the
+        method run by the pipeline.
     """
 
     train: TrainConfig = field(default_factory=lambda: TrainConfig(epochs=150, patience=None))
@@ -80,6 +117,7 @@ class MethodSettings:
     ppfr: PPFRConfig = field(default_factory=PPFRConfig)
     attack_seed: int = 0
     model_seed: int = 0
+    compute: ComputeConfig = field(default_factory=ComputeConfig)
 
     def __post_init__(self) -> None:
         if self.fairness_weight <= 0:

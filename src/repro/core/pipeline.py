@@ -56,14 +56,15 @@ def run_method(
         raise KeyError(
             f"unknown method {method!r}; available: {', '.join(sorted(METHOD_RUNNERS))}"
         )
-    model = build_model(
-        model_name,
-        in_features=graph.num_features,
-        num_classes=graph.num_classes,
-        hidden_features=hidden_features,
-        rng=settings.model_seed,
-    )
-    return METHOD_RUNNERS[key](model, graph, settings)
+    with settings.compute.activate():
+        model = build_model(
+            model_name,
+            in_features=graph.num_features,
+            num_classes=graph.num_classes,
+            hidden_features=hidden_features,
+            rng=settings.model_seed,
+        )
+        return METHOD_RUNNERS[key](model, graph, settings)
 
 
 def run_all_methods(
@@ -91,12 +92,13 @@ def run_all_methods(
 
     runs: Dict[str, MethodRun] = {}
     evaluations: Dict[str, MethodEvaluation] = {}
-    for method in methods:
-        run = run_method(method, model_name, graph, settings, hidden_features)
-        runs[method] = run
-        evaluations[method] = evaluate_method(
-            run, model_name=model_name, similarity=similarity, attack=attack
-        )
+    with settings.compute.activate():
+        for method in methods:
+            run = run_method(method, model_name, graph, settings, hidden_features)
+            runs[method] = run
+            evaluations[method] = evaluate_method(
+                run, model_name=model_name, similarity=similarity, attack=attack
+            )
 
     vanilla_eval = evaluations["vanilla"]
     deltas: Dict[str, DeltaReport] = {

@@ -17,7 +17,7 @@ from repro.datasets.registry import (
 )
 from repro.datasets.spec import DatasetSpec
 from repro.datasets.splits import make_planetoid_split, make_fraction_split
-from repro.datasets.synthetic import generate_surrogate
+from repro.datasets.synthetic import generate_scaling_graph, generate_surrogate
 
 __all__ = [
     "DATASET_SPECS",
@@ -27,5 +27,6 @@ __all__ = [
     "DatasetSpec",
     "make_planetoid_split",
     "make_fraction_split",
+    "generate_scaling_graph",
     "generate_surrogate",
 ]

@@ -20,6 +20,7 @@ from typing import List, Optional
 
 from repro.experiments.presets import PRESETS
 from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.sparse.backend import available_backends, use_backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,6 +41,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
     parser.add_argument(
+        "--backend",
+        default="auto",
+        choices=sorted(available_backends()) + ["auto"],
+        help=(
+            "graph compute backend: 'dense' (reference), 'sparse' (CSR spmm) "
+            "or 'auto' (nnz-density heuristic; default)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="directory to write <experiment>.json result files into",
@@ -50,14 +60,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    for name in names:
-        result = run_experiment(name, preset=args.preset, seed=args.seed)
-        print(result.formatted())
-        print()
-        if args.output:
-            path = os.path.join(args.output, f"{name}.json")
-            result.save_json(path)
-            print(f"saved {path}")
+    with use_backend(args.backend):
+        for name in names:
+            result = run_experiment(name, preset=args.preset, seed=args.seed)
+            print(result.formatted())
+            print()
+            if args.output:
+                path = os.path.join(args.output, f"{name}.json")
+                result.save_json(path)
+                print(f"saved {path}")
     return 0
 
 

@@ -1,13 +1,20 @@
 """Graph neural network models (GCN, GAT, GraphSAGE) and the trainer.
 
 These are the victim models of the paper's experiments.  They are built on
-the :mod:`repro.nn` autodiff substrate and operate on dense adjacency
-matrices, which is appropriate at the surrogate graph sizes used here.
+the :mod:`repro.nn` autodiff substrate and accept dense or CSR adjacency;
+propagation dispatches through the :mod:`repro.sparse` compute backend
+(``dense`` / ``sparse`` / ``auto``).
 """
 
 from repro.gnn.layers import GCNConv, GATConv, SAGEConv
 from repro.gnn.models import GCN, GAT, GraphSAGE, build_model, MODEL_REGISTRY
-from repro.gnn.normalization import gcn_norm, left_norm, row_normalize_features
+from repro.gnn.normalization import (
+    build_propagation,
+    gcn_norm,
+    left_norm,
+    mean_aggregation_matrix,
+    row_normalize_features,
+)
 from repro.gnn.trainer import Trainer, TrainConfig, TrainResult
 from repro.gnn.evaluation import evaluate_accuracy, predict_probabilities, predict_labels
 
@@ -20,8 +27,10 @@ __all__ = [
     "GraphSAGE",
     "build_model",
     "MODEL_REGISTRY",
+    "build_propagation",
     "gcn_norm",
     "left_norm",
+    "mean_aggregation_matrix",
     "row_normalize_features",
     "Trainer",
     "TrainConfig",

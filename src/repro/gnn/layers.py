@@ -1,15 +1,17 @@
 """Graph convolution layers.
 
 Each layer operates on a dense node-representation tensor ``(N, F)`` and a
-dense graph operator derived from the adjacency matrix.  The operators are
-plain NumPy constants (no gradient flows through the graph structure), which
-matches the victim models of the paper: structure enters only through the
-fixed propagation matrices.
+graph *propagation operator* derived from the adjacency matrix.  An operator
+is anything exposing ``matmul(tensor) -> Tensor`` for a fixed constant
+matrix: a plain :class:`~repro.nn.tensor.Tensor`, or a backend-built
+:data:`~repro.sparse.backend.PropagationOperator` (dense or CSR).  No
+gradient flows through the graph structure, which matches the victim models
+of the paper: structure enters only through the fixed propagation matrices.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 import numpy as np
 
@@ -17,15 +19,20 @@ from repro.nn import functional as F
 from repro.nn import init as init_schemes
 from repro.nn.module import Module, Parameter
 from repro.nn.tensor import Tensor, concatenate
+from repro.sparse.backend import PropagationOperator
 from repro.utils.rng import RandomState, ensure_rng
+
+Propagation = Union[Tensor, PropagationOperator]
+"""Anything applying a fixed graph operator via ``.matmul(tensor)``."""
 
 
 class GCNConv(Module):
     """Graph convolution of Kipf & Welling: ``σ(Â X W)``.
 
-    The propagation matrix ``Â`` (symmetric-normalised adjacency with
-    self-loops) is supplied at call time so the same layer can be used on the
-    original and on a perturbed graph, as PPFR's fine-tuning phase requires.
+    The propagation operator ``Â`` (symmetric-normalised adjacency with
+    self-loops, dense or sparse) is supplied at call time so the same layer
+    can be used on the original and on a perturbed graph, as PPFR's
+    fine-tuning phase requires.
     """
 
     def __init__(
@@ -49,7 +56,7 @@ class GCNConv(Module):
         else:
             self.bias = None
 
-    def forward(self, x: Tensor, propagation: Tensor) -> Tensor:
+    def forward(self, x: Tensor, propagation: Propagation) -> Tensor:
         support = x.matmul(self.weight)
         out = propagation.matmul(support)
         if self.bias is not None:
@@ -155,7 +162,7 @@ class SAGEConv(Module):
         else:
             self.bias = None
 
-    def forward(self, x: Tensor, neighbor_mean: Tensor) -> Tensor:
+    def forward(self, x: Tensor, neighbor_mean: Propagation) -> Tensor:
         aggregated = neighbor_mean.matmul(x)
         out = x.matmul(self.weight_self) + aggregated.matmul(self.weight_neighbor)
         if self.bias is not None:

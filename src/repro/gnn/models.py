@@ -4,9 +4,16 @@ All models expose the same interface used by the trainer, the attacks and
 the influence-function machinery:
 
 ``forward(features, adjacency) -> logits`` where ``features`` is an
-``(N, F)`` array/tensor, ``adjacency`` an ``(N, N)`` dense adjacency matrix
-and ``logits`` an ``(N, C)`` tensor.  Model outputs for the attacks and
-fairness metrics are the softmax probabilities of those logits.
+``(N, F)`` array/tensor, ``adjacency`` an ``(N, N)`` adjacency matrix —
+dense or :class:`repro.sparse.CSRMatrix` — and ``logits`` an ``(N, C)``
+tensor.  Model outputs for the attacks and fairness metrics are the softmax
+probabilities of those logits.
+
+GCN and GraphSAGE build their propagation operators through
+:func:`repro.gnn.normalization.build_propagation`, so the active compute
+backend (``dense`` / ``sparse`` / ``auto``) decides whether message passing
+runs as a dense matmul or a CSR ``spmm``.  GAT's all-pairs attention is
+inherently dense and always takes the dense path.
 """
 
 from __future__ import annotations
@@ -16,13 +23,15 @@ from typing import Callable, Dict, Optional, Union
 import numpy as np
 
 from repro.gnn.layers import GATConv, GCNConv, SAGEConv
-from repro.gnn.normalization import attention_mask, gcn_norm, mean_aggregation_matrix
+from repro.gnn.normalization import attention_mask, build_propagation
 from repro.nn import functional as F
 from repro.nn.module import Dropout, Module
 from repro.nn.tensor import Tensor
+from repro.sparse.csr import CSRMatrix
 from repro.utils.rng import RandomState, ensure_rng, spawn_children
 
 ArrayOrTensor = Union[np.ndarray, Tensor]
+AdjacencyLike = Union[np.ndarray, CSRMatrix]
 
 
 def _as_tensor(value: ArrayOrTensor) -> Tensor:
@@ -35,10 +44,10 @@ class GNNModel(Module):
     def __init__(self) -> None:
         super().__init__()
 
-    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+    def forward(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> Tensor:
         raise NotImplementedError  # pragma: no cover - abstract
 
-    def predict_logits(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+    def predict_logits(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
         """Inference-mode logits as a NumPy array."""
         was_training = self.training
         self.eval()
@@ -52,14 +61,14 @@ class GNNModel(Module):
                 self.train()
         return logits.data.copy()
 
-    def predict_proba(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+    def predict_proba(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
         """Inference-mode softmax probabilities (what the attacker queries)."""
         logits = self.predict_logits(features, adjacency)
         shifted = logits - logits.max(axis=1, keepdims=True)
         exp = np.exp(shifted)
         return exp / exp.sum(axis=1, keepdims=True)
 
-    def predict_labels(self, features: ArrayOrTensor, adjacency: np.ndarray) -> np.ndarray:
+    def predict_labels(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
         """Inference-mode hard label predictions."""
         return self.predict_logits(features, adjacency).argmax(axis=1)
 
@@ -91,9 +100,9 @@ class GCN(GNNModel):
             )
         self.dropout = Dropout(dropout, rng=child_rngs[-1])
 
-    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+    def forward(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> Tensor:
         x = _as_tensor(features)
-        propagation = Tensor(gcn_norm(adjacency))
+        propagation = build_propagation(adjacency, kind="gcn")
         for index in range(self.num_layers):
             layer: GCNConv = getattr(self, f"conv{index}")
             x = layer(x, propagation)
@@ -129,8 +138,10 @@ class GAT(GNNModel):
         )
         self.dropout = Dropout(dropout, rng=rng_drop)
 
-    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+    def forward(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> Tensor:
         x = _as_tensor(features)
+        if isinstance(adjacency, CSRMatrix):
+            adjacency = adjacency.to_dense()
         mask = attention_mask(adjacency)
         x = self.conv0(x, mask)
         x = F.elu(x)
@@ -166,12 +177,14 @@ class GraphSAGE(GNNModel):
         self.num_samples = num_samples
         self._sample_rng = rng_sample
 
-    def _aggregation(self, adjacency: np.ndarray) -> np.ndarray:
+    def _aggregation(self, adjacency: AdjacencyLike):
         if self.training and self.num_samples is not None:
             adjacency = self._sample_neighbors(adjacency)
-        return mean_aggregation_matrix(adjacency, include_self=False)
+        return build_propagation(adjacency, kind="mean_noself")
 
-    def _sample_neighbors(self, adjacency: np.ndarray) -> np.ndarray:
+    def _sample_neighbors(self, adjacency: AdjacencyLike) -> AdjacencyLike:
+        if isinstance(adjacency, CSRMatrix):
+            return self._sample_neighbors_csr(adjacency)
         sampled = np.zeros_like(adjacency)
         for node in range(adjacency.shape[0]):
             neighbors = np.nonzero(adjacency[node])[0]
@@ -184,9 +197,41 @@ class GraphSAGE(GNNModel):
             sampled[node, neighbors] = 1.0
         return sampled
 
-    def forward(self, features: ArrayOrTensor, adjacency: np.ndarray) -> Tensor:
+    def _sample_neighbors_csr(self, adjacency: CSRMatrix) -> CSRMatrix:
+        """Per-node neighbour subsampling on CSR structure.
+
+        The result is intentionally non-symmetric (each node samples its own
+        incoming aggregation set), matching the dense sampling path.
+        """
+        rows: list = []
+        cols: list = []
+        indptr, indices = adjacency.indptr, adjacency.indices
+        for node in range(adjacency.shape[0]):
+            neighbors = indices[indptr[node] : indptr[node + 1]]
+            if neighbors.size == 0:
+                continue
+            if neighbors.size > self.num_samples:
+                neighbors = self._sample_rng.choice(
+                    neighbors, size=self.num_samples, replace=False
+                )
+            rows.append(np.full(neighbors.size, node, dtype=np.int64))
+            cols.append(neighbors)
+        if not rows:
+            return CSRMatrix.from_coo(
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.float64),
+                adjacency.shape,
+            )
+        row_idx = np.concatenate(rows)
+        col_idx = np.concatenate(cols)
+        return CSRMatrix.from_coo(
+            row_idx, col_idx, np.ones(row_idx.size, dtype=np.float64), adjacency.shape
+        )
+
+    def forward(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> Tensor:
         x = _as_tensor(features)
-        aggregation = Tensor(self._aggregation(adjacency))
+        aggregation = self._aggregation(adjacency)
         x = self.conv0(x, aggregation)
         x = F.relu(x)
         x = F.normalize_rows(x)

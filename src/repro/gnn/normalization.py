@@ -1,30 +1,59 @@
-"""Adjacency and feature normalisation used by the GNN layers."""
+"""Adjacency and feature normalisation used by the GNN layers.
+
+All propagation-matrix builders dispatch on the input type: dense arrays
+take the original dense path, :class:`repro.sparse.CSRMatrix` inputs are
+routed to the CSR kernels.  Models should prefer
+:func:`build_propagation`, which additionally consults the active compute
+backend (``dense`` / ``sparse`` / ``auto``) so the whole pipeline can be
+switched without touching layer code.
+"""
 
 from __future__ import annotations
+
+from typing import Union
 
 import numpy as np
 
 from repro.graphs.laplacian import gcn_normalization
+from repro.sparse.backend import PropagationOperator, build_propagation
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import mean_aggregation_csr
 from repro.utils.validation import check_adjacency
 
+AdjacencyLike = Union[np.ndarray, CSRMatrix]
 
-def gcn_norm(adjacency: np.ndarray) -> np.ndarray:
+__all__ = [
+    "gcn_norm",
+    "left_norm",
+    "mean_aggregation_matrix",
+    "attention_mask",
+    "row_normalize_features",
+    "build_propagation",
+    "PropagationOperator",
+]
+
+
+def gcn_norm(adjacency: AdjacencyLike) -> AdjacencyLike:
     """Symmetric GCN propagation matrix ``D̃^{-1/2}(A+I)D̃^{-1/2}``."""
     return gcn_normalization(adjacency, mode="symmetric")
 
 
-def left_norm(adjacency: np.ndarray) -> np.ndarray:
+def left_norm(adjacency: AdjacencyLike) -> AdjacencyLike:
     """Left-normalised propagation ``D̃^{-1}(A+I)`` (paper's risk model)."""
     return gcn_normalization(adjacency, mode="left")
 
 
-def mean_aggregation_matrix(adjacency: np.ndarray, include_self: bool = True) -> np.ndarray:
+def mean_aggregation_matrix(
+    adjacency: AdjacencyLike, include_self: bool = True
+) -> AdjacencyLike:
     """Row-stochastic neighbourhood-mean operator used by GraphSAGE.
 
     With ``include_self=False`` the matrix averages over neighbours only
     (self information is concatenated separately by the SAGE layer).
     Isolated nodes receive an all-zero row.
     """
+    if isinstance(adjacency, CSRMatrix):
+        return mean_aggregation_csr(adjacency, include_self=include_self)
     adjacency = check_adjacency(adjacency)
     base = adjacency.copy()
     if include_self:
@@ -39,7 +68,9 @@ def attention_mask(adjacency: np.ndarray) -> np.ndarray:
     """Boolean mask of *disallowed* attention positions for GAT.
 
     Attention is restricted to first-order neighbours plus the node itself;
-    every other position is masked to ``-inf`` before the softmax.
+    every other position is masked to ``-inf`` before the softmax.  GAT's
+    dense all-pairs attention has no sparse counterpart, so this helper is
+    dense-only.
     """
     adjacency = check_adjacency(adjacency)
     allowed = (adjacency > 0) | np.eye(adjacency.shape[0], dtype=bool)

@@ -22,6 +22,7 @@ from repro.graphs.generators import (
     stochastic_block_model,
     planted_partition_graph,
     sbm_probabilities_for_homophily,
+    sparse_planted_partition_edges,
     gaussian_class_features,
     binary_class_features,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "stochastic_block_model",
     "planted_partition_graph",
     "sbm_probabilities_for_homophily",
+    "sparse_planted_partition_edges",
     "gaussian_class_features",
     "binary_class_features",
     "add_edges",

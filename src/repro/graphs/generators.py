@@ -128,6 +128,75 @@ def planted_partition_graph(
     )
 
 
+def sparse_planted_partition_edges(
+    num_nodes: int,
+    num_classes: int,
+    average_degree: float,
+    homophily: float,
+    rng: RandomState = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """O(m) edge-list sampler for the balanced planted partition.
+
+    The dense :func:`planted_partition_graph` materialises an ``(N, N)``
+    probability and coin-flip matrix, which caps it at a few thousand nodes.
+    This sampler draws, for every block pair, the edge *count* from the exact
+    binomial and then samples that many endpoint pairs uniformly (with
+    replacement, de-duplicated afterwards), touching only O(m) memory — the
+    scalability benchmarks use it for graphs up to 50k+ nodes.
+
+    The marginal edge distribution matches the SBM up to the de-duplication
+    of collided samples, a vanishing correction at the sparse densities the
+    paper studies (expected collision fraction ≈ edge probability).
+
+    Returns
+    -------
+    (edges, labels):
+        ``(E, 2)`` int64 array of unique undirected edges with ``i < j`` and
+        the block label of every node.
+    """
+    p, q = sbm_probabilities_for_homophily(
+        num_nodes, num_classes, average_degree, homophily
+    )
+    generator = ensure_rng(rng)
+    base = num_nodes // num_classes
+    sizes = [base] * num_classes
+    for extra in range(num_nodes - base * num_classes):
+        sizes[extra] += 1
+    starts = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+    labels = np.concatenate(
+        [np.full(size, block, dtype=np.int64) for block, size in enumerate(sizes)]
+    )
+
+    chunks = []
+    for a in range(num_classes):
+        for b in range(a, num_classes):
+            size_a, size_b = sizes[a], sizes[b]
+            if a == b:
+                pair_count = size_a * (size_a - 1) // 2
+                probability = p
+            else:
+                pair_count = size_a * size_b
+                probability = q
+            if pair_count == 0 or probability == 0.0:
+                continue
+            count = int(generator.binomial(pair_count, probability))
+            if count == 0:
+                continue
+            left = generator.integers(0, size_a, size=count) + starts[a]
+            right = generator.integers(0, size_b, size=count) + starts[b]
+            keep = left != right
+            low = np.minimum(left[keep], right[keep])
+            high = np.maximum(left[keep], right[keep])
+            chunks.append(np.stack([low, high], axis=1))
+
+    if not chunks:
+        return np.empty((0, 2), dtype=np.int64), labels
+    edges = np.concatenate(chunks, axis=0)
+    linear = edges[:, 0] * np.int64(num_nodes) + edges[:, 1]
+    _, unique_idx = np.unique(linear, return_index=True)
+    return edges[np.sort(unique_idx)], labels
+
+
 def gaussian_class_features(
     labels: np.ndarray,
     num_features: int,

@@ -8,31 +8,54 @@ The paper's theoretical argument partitions node pairs by the hop distance
 * ``k > 2`` — unconnected pairs with zero similarity,
 * ``k = ∞`` — disconnected pairs.
 
-These helpers compute hop distances with a BFS over the dense adjacency and
-expose the analytic 2-hop ratio of Eq. (5).
+These helpers compute hop distances with a BFS over the adjacency structure
+and expose the analytic 2-hop ratio of Eq. (5).  BFS dispatches through the
+compute backend: CSR inputs (and dense graphs the ``auto`` heuristic deems
+large and sparse) use the frontier BFS over CSR adjacency lists, everything
+else takes the original dense-row scan.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Tuple
+from typing import Dict, Tuple, Union
 
 import numpy as np
 
+from repro.sparse.backend import resolve_backend
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import INF_HOPS, shortest_path_hops_csr
 from repro.utils.validation import check_adjacency
 
-INF_HOPS = -1
-"""Marker returned for node pairs with no connecting path."""
+AdjacencyLike = Union[np.ndarray, CSRMatrix]
+
+__all__ = [
+    "INF_HOPS",
+    "shortest_path_hops",
+    "khop_pairs",
+    "pair_hop_histogram",
+    "two_hop_ratio_empirical",
+    "two_hop_ratio_theoretical",
+    "connected_unconnected_split",
+]
+# INF_HOPS (the marker for node pairs with no connecting path) is defined in
+# repro.sparse.ops — the layer both BFS implementations share — and
+# re-exported here, its historical public home.
 
 
-def shortest_path_hops(adjacency: np.ndarray) -> np.ndarray:
+def shortest_path_hops(adjacency: AdjacencyLike) -> np.ndarray:
     """All-pairs shortest-path hop counts via per-node BFS.
 
     Returns an ``(N, N)`` integer matrix whose ``(i, j)`` entry is the number
     of edges on the shortest path, ``0`` on the diagonal and :data:`INF_HOPS`
-    for unreachable pairs.
+    for unreachable pairs.  The result is identical on both backends (integer
+    hop counts have no round-off).
     """
+    if isinstance(adjacency, CSRMatrix):
+        return shortest_path_hops_csr(adjacency)
     adjacency = check_adjacency(adjacency)
+    if resolve_backend(adjacency).name == "sparse":
+        return shortest_path_hops_csr(CSRMatrix.from_dense(adjacency))
     n = adjacency.shape[0]
     neighbors = [np.nonzero(adjacency[i])[0] for i in range(n)]
     hops = np.full((n, n), INF_HOPS, dtype=np.int64)
@@ -49,7 +72,7 @@ def shortest_path_hops(adjacency: np.ndarray) -> np.ndarray:
     return hops
 
 
-def khop_pairs(adjacency: np.ndarray, k: int) -> np.ndarray:
+def khop_pairs(adjacency: AdjacencyLike, k: int) -> np.ndarray:
     """Return the ``(M, 2)`` array of node pairs (i < j) at hop distance ``k``.
 
     ``k = -1`` (:data:`INF_HOPS`) selects disconnected pairs.
@@ -60,7 +83,7 @@ def khop_pairs(adjacency: np.ndarray, k: int) -> np.ndarray:
     return np.stack([rows, cols], axis=1)
 
 
-def pair_hop_histogram(adjacency: np.ndarray) -> Dict[int, int]:
+def pair_hop_histogram(adjacency: AdjacencyLike) -> Dict[int, int]:
     """Histogram of hop distances over all unordered node pairs."""
     hops = shortest_path_hops(adjacency)
     n = hops.shape[0]
@@ -69,7 +92,7 @@ def pair_hop_histogram(adjacency: np.ndarray) -> Dict[int, int]:
     return {int(v): int(c) for v, c in zip(values, counts)}
 
 
-def two_hop_ratio_empirical(adjacency: np.ndarray) -> float:
+def two_hop_ratio_empirical(adjacency: AdjacencyLike) -> float:
     """Fraction of *unconnected* pairs that are exactly 2 hops apart.
 
     This is the empirical counterpart of Eq. (5): the paper argues this ratio

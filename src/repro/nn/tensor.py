@@ -13,30 +13,37 @@ support so layers can be written naturally.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
 
-_GRAD_ENABLED = True
+_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
+    "repro_grad_enabled", default=True
+)
+"""Dynamically scoped autodiff mode flag.
+
+A :class:`contextvars.ContextVar` rather than a module global so that
+``no_grad()`` in one thread / task of a parallel runner cannot disable graph
+recording in another.
+"""
 
 
 @contextlib.contextmanager
 def no_grad():
     """Context manager disabling graph construction (inference mode)."""
-    global _GRAD_ENABLED
-    previous = _GRAD_ENABLED
-    _GRAD_ENABLED = False
+    token = _GRAD_ENABLED.set(False)
     try:
         yield
     finally:
-        _GRAD_ENABLED = previous
+        _GRAD_ENABLED.reset(token)
 
 
 def is_grad_enabled() -> bool:
     """Return whether autodiff graph recording is currently enabled."""
-    return _GRAD_ENABLED
+    return _GRAD_ENABLED.get()
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -69,7 +76,7 @@ class Tensor:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
+        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._prev: Tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
@@ -130,7 +137,7 @@ class Tensor:
         parents: Tuple["Tensor", ...],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        requires = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
         if requires:
             out._backward = backward
@@ -217,8 +224,13 @@ class Tensor:
         data = self.data @ other.data
 
         def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad @ other.data.T)
-            other._accumulate(self.data.T @ grad)
+            # Guard each operand: the product forming its gradient is O(n²)
+            # work and memory, wasted when that operand is a constant (e.g.
+            # every propagation matrix in the GNN layers).
+            if self.requires_grad:
+                self._accumulate(grad @ other.data.T)
+            if other.requires_grad:
+                other._accumulate(self.data.T @ grad)
 
         return self._make(data, (self, other), backward)
 
@@ -454,7 +466,7 @@ def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
             slicer[axis] = slice(start, stop)
             tensor._accumulate(grad[tuple(slicer)])
 
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    requires = _GRAD_ENABLED.get() and any(t.requires_grad for t in tensors)
     out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
     if requires:
         out._backward = backward

@@ -1,0 +1,64 @@
+"""Sparse graph compute backend.
+
+A dependency-free CSR matrix type, sparse counterparts of the library's
+dense graph kernels (propagation normalisations, Laplacians, k-hop BFS), an
+autodiff-integrated ``spmm`` and a pluggable dense/sparse backend registry.
+The registry defaults to ``"auto"``, which keeps small graphs on the exact
+dense reference path and switches large low-density graphs to CSR — every
+table/figure pipeline runs unmodified on either backend.
+"""
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    gcn_norm_csr,
+    left_norm_csr,
+    mean_aggregation_csr,
+    laplacian_csr,
+    normalized_laplacian_csr,
+    shortest_path_hops_csr,
+)
+from repro.sparse.autodiff import spmm, spmv
+from repro.sparse.backend import (
+    AUTO_MAX_DENSITY,
+    AUTO_MIN_NODES,
+    ComputeBackend,
+    DenseBackend,
+    DenseOperator,
+    SparseBackend,
+    SparseOperator,
+    available_backends,
+    build_propagation,
+    get_backend,
+    get_backend_name,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+
+__all__ = [
+    "CSRMatrix",
+    "gcn_norm_csr",
+    "left_norm_csr",
+    "mean_aggregation_csr",
+    "laplacian_csr",
+    "normalized_laplacian_csr",
+    "shortest_path_hops_csr",
+    "spmm",
+    "spmv",
+    "AUTO_MAX_DENSITY",
+    "AUTO_MIN_NODES",
+    "ComputeBackend",
+    "DenseBackend",
+    "DenseOperator",
+    "SparseBackend",
+    "SparseOperator",
+    "available_backends",
+    "build_propagation",
+    "get_backend",
+    "get_backend_name",
+    "register_backend",
+    "resolve_backend",
+    "set_backend",
+    "use_backend",
+]

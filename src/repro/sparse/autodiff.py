@@ -1,0 +1,62 @@
+"""Sparse matrix products registered on the reverse-mode autodiff tape.
+
+``spmm(P, X)`` computes ``P @ X`` for a constant CSR operator ``P`` and a
+:class:`repro.nn.Tensor` ``X``.  The backward rule is ``∂L/∂X = Pᵀ @ g`` —
+both passes stay sparse; the dense ``(N, N)`` operator is never
+materialised.  Gradients never flow into the graph structure, matching the
+dense pipelines where propagation matrices are plain constants.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["spmm", "spmv"]
+
+
+def spmm(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
+    """Sparse × dense product ``matrix @ x`` with autodiff support.
+
+    Parameters
+    ----------
+    matrix:
+        Constant ``(R, C)`` CSR operator (no gradient is computed for it).
+    x:
+        ``(C, F)`` tensor (or array, promoted to a constant tensor).
+
+    Returns
+    -------
+    An ``(R, F)`` tensor on the tape; backward accumulates ``matrixᵀ @ grad``
+    into ``x`` using the cached CSR transpose, so neither pass densifies.
+    """
+    if not isinstance(matrix, CSRMatrix):
+        raise TypeError("spmm expects a CSRMatrix as the left operand")
+    x = Tensor._promote(x)
+    if x.data.ndim != 2:
+        raise ValueError("spmm expects a 2-D right operand")
+    data = matrix.matmul_dense(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(matrix.T.matmul_dense(grad))
+
+    return x._make(data, (x,), backward)
+
+
+def spmv(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
+    """Sparse matrix–vector product ``matrix @ x`` with autodiff support."""
+    if not isinstance(matrix, CSRMatrix):
+        raise TypeError("spmv expects a CSRMatrix as the left operand")
+    x = Tensor._promote(x)
+    if x.data.ndim != 1:
+        raise ValueError("spmv expects a 1-D right operand")
+    data = matrix.matmul_dense(x.data)
+
+    def backward(grad: np.ndarray) -> None:
+        x._accumulate(matrix.T.matmul_dense(grad))
+
+    return x._make(data, (x,), backward)

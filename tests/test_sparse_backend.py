@@ -1,0 +1,218 @@
+"""Backend registry, auto-selection heuristic and dynamic-scoping tests."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import ComputeConfig
+from repro.nn.tensor import Tensor, is_grad_enabled, no_grad
+from repro.sparse import (
+    AUTO_MIN_NODES,
+    CSRMatrix,
+    DenseOperator,
+    SparseOperator,
+    available_backends,
+    build_propagation,
+    get_backend,
+    get_backend_name,
+    register_backend,
+    resolve_backend,
+    set_backend,
+    use_backend,
+)
+from repro.sparse.backend import ComputeBackend, _REGISTRY
+
+
+def ring_adjacency(n):
+    adjacency = np.zeros((n, n))
+    idx = np.arange(n)
+    adjacency[idx, (idx + 1) % n] = 1.0
+    adjacency[(idx + 1) % n, idx] = 1.0
+    return adjacency
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(available_backends()) >= {"dense", "sparse"}
+        assert get_backend("dense").name == "dense"
+        assert get_backend("sparse").name == "sparse"
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown backend"):
+            get_backend("gpu")
+        with pytest.raises(KeyError, match="unknown backend"):
+            set_backend("gpu")
+
+    def test_auto_reserved(self):
+        with pytest.raises(ValueError, match="reserved"):
+            register_backend("auto", ComputeBackend())
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dense", ComputeBackend())
+
+    def test_custom_backend_registration(self):
+        class EchoBackend(ComputeBackend):
+            name = "echo"
+
+            def build_operator(self, adjacency, kind):
+                return ("echo", kind)
+
+        register_backend("echo", EchoBackend())
+        try:
+            with use_backend("echo"):
+                assert build_propagation(np.eye(3), "gcn") == ("echo", "gcn")
+        finally:
+            _REGISTRY.pop("echo")
+
+
+class TestSelection:
+    def test_default_is_auto(self):
+        assert get_backend_name() == "auto"
+
+    def test_auto_small_graph_dense(self):
+        small = ring_adjacency(16)
+        assert resolve_backend(small).name == "dense"
+        assert isinstance(build_propagation(small, "gcn"), DenseOperator)
+
+    def test_auto_large_sparse_graph(self):
+        large = ring_adjacency(AUTO_MIN_NODES)
+        assert resolve_backend(large).name == "sparse"
+        assert isinstance(build_propagation(large, "gcn"), SparseOperator)
+
+    def test_auto_large_dense_graph_stays_dense(self):
+        n = AUTO_MIN_NODES
+        dense_graph = np.ones((n, n)) - np.eye(n)
+        assert resolve_backend(dense_graph).name == "dense"
+
+    def test_auto_csr_input_stays_sparse(self):
+        csr = CSRMatrix.from_dense(ring_adjacency(8))
+        assert resolve_backend(csr).name == "sparse"
+
+    def test_explicit_override_beats_auto(self):
+        small = ring_adjacency(16)
+        assert resolve_backend(small, "sparse").name == "sparse"
+
+    def test_use_backend_scoping(self):
+        small = ring_adjacency(16)
+        with use_backend("sparse"):
+            assert get_backend_name() == "sparse"
+            assert resolve_backend(small).name == "sparse"
+            with use_backend("dense"):
+                assert resolve_backend(small).name == "dense"
+            assert resolve_backend(small).name == "sparse"
+        assert get_backend_name() == "auto"
+
+    def test_use_backend_none_inherits(self):
+        with use_backend("sparse"):
+            with use_backend(None):
+                assert get_backend_name() == "sparse"
+
+    def test_backend_selection_is_thread_local(self):
+        """A backend choice in one thread must not leak into another."""
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def sparse_worker():
+            with use_backend("sparse"):
+                barrier.wait()
+                seen["sparse_worker"] = get_backend_name()
+                barrier.wait()
+
+        def plain_worker():
+            barrier.wait()
+            seen["plain_worker"] = get_backend_name()
+            barrier.wait()
+
+        threads = [
+            threading.Thread(target=sparse_worker),
+            threading.Thread(target=plain_worker),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert seen == {"sparse_worker": "sparse", "plain_worker": "auto"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown propagation kind"):
+            build_propagation(ring_adjacency(4), "chebyshev")
+        with pytest.raises(ValueError, match="unknown propagation kind"):
+            build_propagation(ring_adjacency(4), "chebyshev", backend="sparse")
+
+
+class TestOperators:
+    def test_operator_apis_agree(self, rng):
+        adjacency = ring_adjacency(12)
+        x = rng.normal(size=(12, 3))
+        dense_op = build_propagation(adjacency, "gcn", backend="dense")
+        sparse_op = build_propagation(adjacency, "gcn", backend="sparse")
+        assert dense_op.shape == sparse_op.shape == (12, 12)
+        np.testing.assert_allclose(dense_op.to_array(), sparse_op.to_array(), atol=1e-12)
+        np.testing.assert_allclose(
+            dense_op.matmul(Tensor(x)).data, sparse_op.matmul(Tensor(x)).data, atol=1e-12
+        )
+        assert sparse_op.memory_bytes() < dense_op.memory_bytes()
+
+
+class TestComputeConfig:
+    def test_default_inherits_ambient(self):
+        config = ComputeConfig()
+        with use_backend("sparse"):
+            with config.activate():
+                assert get_backend_name() == "sparse"
+
+    def test_explicit_backend_applied(self):
+        config = ComputeConfig(backend="sparse")
+        with config.activate():
+            assert get_backend_name() == "sparse"
+        assert get_backend_name() == "auto"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend must be one of"):
+            ComputeConfig(backend="tpu")
+
+
+class TestGradModeContextVar:
+    """Satellite: the autodiff mode flag is dynamically scoped per thread."""
+
+    def test_no_grad_restores(self):
+        assert is_grad_enabled()
+        with no_grad():
+            assert not is_grad_enabled()
+            with no_grad():
+                assert not is_grad_enabled()
+            assert not is_grad_enabled()
+        assert is_grad_enabled()
+
+    def test_no_grad_does_not_leak_across_threads(self):
+        """no_grad() in one thread must not disable recording in another."""
+        barrier = threading.Barrier(2)
+        results = {}
+
+        def frozen_worker():
+            with no_grad():
+                barrier.wait()  # hold no_grad open while the peer records
+                results["frozen"] = is_grad_enabled()
+                barrier.wait()
+
+        def recording_worker():
+            barrier.wait()
+            tensor = Tensor(np.ones(3), requires_grad=True)
+            out = (tensor * 2.0).sum()
+            results["recording"] = (is_grad_enabled(), out.requires_grad)
+            barrier.wait()
+
+        threads = [
+            threading.Thread(target=frozen_worker),
+            threading.Thread(target=recording_worker),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results["frozen"] is False
+        assert results["recording"] == (True, True)

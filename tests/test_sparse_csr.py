@@ -1,0 +1,169 @@
+"""Unit tests for the dependency-free CSR container."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sparse.csr import CSRMatrix
+
+
+def random_sparse(rng, n=40, m=None, density=0.1):
+    m = n if m is None else m
+    dense = rng.random((n, m)) * (rng.random((n, m)) < density)
+    return dense
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = random_sparse(rng)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.shape == dense.shape
+        assert csr.nnz == np.count_nonzero(dense)
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_from_dense_rectangular(self, rng):
+        dense = random_sparse(rng, n=7, m=13, density=0.3)
+        np.testing.assert_allclose(CSRMatrix.from_dense(dense).to_dense(), dense)
+
+    def test_from_coo_sums_duplicates(self):
+        csr = CSRMatrix.from_coo(
+            rows=[0, 0, 1], cols=[2, 2, 0], data=[1.0, 2.5, 4.0], shape=(2, 3)
+        )
+        expected = np.array([[0.0, 0.0, 3.5], [4.0, 0.0, 0.0]])
+        np.testing.assert_allclose(csr.to_dense(), expected)
+        assert csr.nnz == 2
+
+    def test_from_edges_symmetric(self):
+        edges = np.array([[0, 1], [1, 2]])
+        csr = CSRMatrix.from_edges(edges, num_nodes=4)
+        dense = np.zeros((4, 4))
+        dense[0, 1] = dense[1, 0] = dense[1, 2] = dense[2, 1] = 1.0
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_from_edges_directed_and_weighted(self):
+        edges = np.array([[0, 1], [2, 0]])
+        csr = CSRMatrix.from_edges(
+            edges, num_nodes=3, weights=[2.0, 3.0], symmetric=False
+        )
+        dense = np.zeros((3, 3))
+        dense[0, 1] = 2.0
+        dense[2, 0] = 3.0
+        np.testing.assert_allclose(csr.to_dense(), dense)
+
+    def test_from_edges_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="self-loops"):
+            CSRMatrix.from_edges(np.array([[1, 1]]), num_nodes=3)
+
+    def test_from_edges_empty(self):
+        csr = CSRMatrix.from_edges(np.empty((0, 2), dtype=np.int64), num_nodes=5)
+        assert csr.nnz == 0
+        np.testing.assert_allclose(csr.to_dense(), np.zeros((5, 5)))
+
+    def test_empty_matrix(self):
+        csr = CSRMatrix.from_dense(np.zeros((0, 0)))
+        assert csr.shape == (0, 0)
+        assert csr.nnz == 0
+        assert csr.to_dense().shape == (0, 0)
+
+    def test_identity(self):
+        np.testing.assert_allclose(CSRMatrix.identity(4).to_dense(), np.eye(4))
+        np.testing.assert_allclose(
+            CSRMatrix.identity(3, value=2.5).to_dense(), 2.5 * np.eye(3)
+        )
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([0], [5], [1.0], shape=(2, 3))
+        with pytest.raises(ValueError):
+            CSRMatrix.from_coo([-1], [0], [1.0], shape=(2, 3))
+
+
+class TestStructure:
+    def test_transpose(self, rng):
+        dense = random_sparse(rng, n=9, m=17, density=0.25)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.T.to_dense(), dense.T)
+        # cached: same object on repeated access, and T of T round-trips
+        assert csr.T is csr.transpose()
+
+    def test_row_sums_and_diagonal(self, rng):
+        dense = random_sparse(rng, n=12, density=0.3)
+        np.fill_diagonal(dense, rng.random(12) * (rng.random(12) < 0.5))
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.row_sums(), dense.sum(axis=1))
+        np.testing.assert_allclose(csr.diagonal(), np.diag(dense))
+
+    def test_row_sums_with_empty_rows(self):
+        dense = np.zeros((4, 4))
+        dense[2, 1] = 3.0
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr.row_sums(), [0.0, 0.0, 3.0, 0.0])
+
+    def test_scaling(self, rng):
+        dense = random_sparse(rng, n=8, density=0.4)
+        csr = CSRMatrix.from_dense(dense)
+        row_f = rng.random(8) + 0.5
+        col_f = rng.random(8) + 0.5
+        np.testing.assert_allclose(
+            csr.scale_rows(row_f).to_dense(), dense * row_f[:, None]
+        )
+        np.testing.assert_allclose(
+            csr.scale_cols(col_f).to_dense(), dense * col_f[None, :]
+        )
+        np.testing.assert_allclose(csr.scale(2.0).to_dense(), 2.0 * dense)
+
+    def test_add_identity(self, rng):
+        dense = random_sparse(rng, n=10, density=0.2)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(
+            csr.add_identity().to_dense(), dense + np.eye(10)
+        )
+
+    def test_add(self, rng):
+        a = random_sparse(rng, n=6, density=0.4)
+        b = random_sparse(rng, n=6, density=0.4)
+        total = CSRMatrix.from_dense(a) + CSRMatrix.from_dense(b)
+        np.testing.assert_allclose(total.to_dense(), a + b)
+
+
+class TestProducts:
+    def test_matmul_dense_matrix(self, rng):
+        dense = random_sparse(rng, n=15, m=11, density=0.3)
+        other = rng.normal(size=(11, 4))
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr @ other, dense @ other, atol=1e-12)
+
+    def test_matmul_vector(self, rng):
+        dense = random_sparse(rng, n=15, m=11, density=0.3)
+        vec = rng.normal(size=11)
+        csr = CSRMatrix.from_dense(dense)
+        np.testing.assert_allclose(csr @ vec, dense @ vec, atol=1e-12)
+
+    def test_matmul_with_empty_rows(self, rng):
+        dense = np.zeros((5, 5))
+        dense[0, 3] = 2.0
+        dense[4, 0] = 1.0
+        other = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(
+            CSRMatrix.from_dense(dense) @ other, dense @ other, atol=1e-12
+        )
+
+    def test_matmul_all_zero(self, rng):
+        csr = CSRMatrix.from_dense(np.zeros((4, 4)))
+        np.testing.assert_allclose(csr @ rng.normal(size=(4, 2)), np.zeros((4, 2)))
+
+    def test_shape_mismatch(self, rng):
+        csr = CSRMatrix.from_dense(np.eye(4))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            csr @ rng.normal(size=(5, 2))
+
+    def test_csr_csr_rejected(self):
+        csr = CSRMatrix.from_dense(np.eye(3))
+        with pytest.raises(TypeError):
+            csr @ csr
+
+    def test_memory_bytes_smaller_than_dense(self, rng):
+        dense = random_sparse(rng, n=200, density=0.01)
+        csr = CSRMatrix.from_dense(dense)
+        assert csr.memory_bytes() < dense.nbytes

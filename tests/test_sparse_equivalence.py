@@ -1,0 +1,204 @@
+"""Dense/sparse equivalence property tests.
+
+The sparse backend is only admissible if it is numerically indistinguishable
+from the dense reference.  These tests assert agreement of every paired
+kernel on random graphs — including isolated-node and empty-graph edge
+cases — plus forward *and* gradient agreement of ``spmm``, model-level
+agreement after full training, and end-to-end agreement of the quick-preset
+table3 / figure4 pipelines under forced backends.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.normalization import gcn_norm, left_norm, mean_aggregation_matrix
+from repro.graphs.khop import shortest_path_hops
+from repro.graphs.laplacian import laplacian, normalized_laplacian
+from repro.nn.tensor import Tensor
+from repro.sparse import CSRMatrix, spmm, use_backend
+from repro.sparse.ops import shortest_path_hops_csr
+
+ATOL = 1e-10
+
+
+def random_graph(rng, n, density=0.1, isolated=()):
+    """Random symmetric 0/1 adjacency with selected rows forced isolated."""
+    upper = np.triu(rng.random((n, n)) < density, k=1)
+    adjacency = (upper | upper.T).astype(np.float64)
+    for node in isolated:
+        adjacency[node, :] = 0.0
+        adjacency[:, node] = 0.0
+    return adjacency
+
+
+GRAPH_CASES = [
+    pytest.param(dict(n=1, density=0.0), id="single-node"),
+    pytest.param(dict(n=8, density=0.0), id="empty-graph"),
+    pytest.param(dict(n=25, density=0.15), id="small"),
+    pytest.param(dict(n=60, density=0.05, isolated=(0, 17, 59)), id="isolated-nodes"),
+    pytest.param(dict(n=80, density=0.4), id="dense-ish"),
+]
+
+
+@pytest.fixture(params=GRAPH_CASES)
+def graph_pair(request, rng):
+    adjacency = random_graph(rng, **request.param)
+    return adjacency, CSRMatrix.from_dense(adjacency)
+
+
+class TestKernelEquivalence:
+    def test_gcn_norm(self, graph_pair):
+        dense, csr = graph_pair
+        np.testing.assert_allclose(gcn_norm(csr).to_dense(), gcn_norm(dense), atol=ATOL)
+
+    def test_left_norm(self, graph_pair):
+        dense, csr = graph_pair
+        np.testing.assert_allclose(
+            left_norm(csr).to_dense(), left_norm(dense), atol=ATOL
+        )
+
+    @pytest.mark.parametrize("include_self", [True, False])
+    def test_mean_aggregation(self, graph_pair, include_self):
+        dense, csr = graph_pair
+        np.testing.assert_allclose(
+            mean_aggregation_matrix(csr, include_self).to_dense(),
+            mean_aggregation_matrix(dense, include_self),
+            atol=ATOL,
+        )
+
+    def test_laplacian(self, graph_pair, rng):
+        dense, _ = graph_pair
+        # Laplacians apply to weighted similarity matrices; reweight the edges.
+        weights = dense * (rng.random(dense.shape) + 0.5)
+        weights = (weights + weights.T) / 2.0
+        csr = CSRMatrix.from_dense(weights)
+        np.testing.assert_allclose(
+            laplacian(csr).to_dense(), laplacian(weights), atol=ATOL
+        )
+
+    def test_normalized_laplacian(self, graph_pair, rng):
+        dense, _ = graph_pair
+        weights = dense * (rng.random(dense.shape) + 0.5)
+        weights = (weights + weights.T) / 2.0
+        csr = CSRMatrix.from_dense(weights)
+        np.testing.assert_allclose(
+            normalized_laplacian(csr).to_dense(),
+            normalized_laplacian(weights),
+            atol=ATOL,
+        )
+
+    def test_shortest_path_hops(self, graph_pair):
+        dense, csr = graph_pair
+        np.testing.assert_array_equal(
+            shortest_path_hops_csr(csr), shortest_path_hops(dense)
+        )
+
+
+class TestSpmmAutodiff:
+    def test_forward_matches_dense(self, graph_pair, rng):
+        dense, csr = graph_pair
+        x = rng.normal(size=(dense.shape[0], 6))
+        np.testing.assert_allclose(
+            spmm(csr, Tensor(x)).data, dense @ x, atol=ATOL
+        )
+
+    def test_gradient_matches_dense(self, graph_pair, rng):
+        dense, csr = graph_pair
+        n = dense.shape[0]
+        x_sparse = Tensor(rng.normal(size=(n, 4)), requires_grad=True)
+        x_dense = Tensor(x_sparse.data.copy(), requires_grad=True)
+        operator = gcn_norm(csr)
+        reference = Tensor(gcn_norm(dense))
+
+        out_sparse = spmm(operator, x_sparse)
+        out_dense = reference.matmul(x_dense)
+        np.testing.assert_allclose(out_sparse.data, out_dense.data, atol=ATOL)
+
+        grad = rng.normal(size=(n, 4))
+        out_sparse.backward(grad)
+        out_dense.backward(grad)
+        np.testing.assert_allclose(x_sparse.grad, x_dense.grad, atol=ATOL)
+
+    def test_gradient_through_composite_loss(self, rng):
+        """spmm composes with downstream tape ops (softmax + sum)."""
+        adjacency = random_graph(rng, 30, density=0.2)
+        csr = CSRMatrix.from_dense(adjacency)
+        x_sparse = Tensor(rng.normal(size=(30, 5)), requires_grad=True)
+        x_dense = Tensor(x_sparse.data.copy(), requires_grad=True)
+
+        loss_sparse = (spmm(gcn_norm(csr), x_sparse).softmax(axis=1) ** 2).sum()
+        loss_dense = (
+            (Tensor(gcn_norm(adjacency)).matmul(x_dense)).softmax(axis=1) ** 2
+        ).sum()
+        loss_sparse.backward()
+        loss_dense.backward()
+        np.testing.assert_allclose(x_sparse.grad, x_dense.grad, atol=ATOL)
+
+    def test_no_densification(self, rng):
+        """The structure gradient is never materialised: P stays CSR."""
+        adjacency = random_graph(rng, 20, density=0.2)
+        operator = gcn_norm(CSRMatrix.from_dense(adjacency))
+        x = Tensor(rng.normal(size=(20, 3)), requires_grad=True)
+        out = spmm(operator, x)
+        out.backward(np.ones_like(out.data))
+        assert isinstance(operator, CSRMatrix)
+        assert isinstance(operator.T, CSRMatrix)
+        assert x.grad is not None
+
+
+class TestModelEquivalence:
+    @pytest.mark.parametrize("model_name", ["gcn", "graphsage"])
+    def test_trained_model_logits(self, tiny_graph, model_name):
+        from repro.gnn.models import build_model
+        from repro.gnn.trainer import TrainConfig, Trainer
+
+        logits = {}
+        for backend in ("dense", "sparse"):
+            model = build_model(
+                model_name,
+                in_features=tiny_graph.num_features,
+                num_classes=tiny_graph.num_classes,
+                hidden_features=8,
+                rng=0,
+            )
+            with use_backend(backend):
+                Trainer(model, TrainConfig(epochs=20, patience=None)).fit(tiny_graph)
+                logits[backend] = model.predict_logits(
+                    tiny_graph.features, tiny_graph.adjacency
+                )
+        np.testing.assert_allclose(logits["dense"], logits["sparse"], atol=1e-8)
+
+
+def _assert_rows_close(rows_a, rows_b, atol):
+    assert len(rows_a) == len(rows_b)
+    for a, b in zip(rows_a, rows_b):
+        assert a.keys() == b.keys()
+        for key, value in a.items():
+            if isinstance(value, float):
+                assert value == pytest.approx(b[key], abs=atol), key
+            else:
+                assert value == b[key], key
+
+
+class TestPipelineEquivalence:
+    """Acceptance criterion: quick-preset table3 / figure4 agree at 1e-8."""
+
+    def test_table3_quick(self):
+        from repro.experiments.tables import table3_accuracy_bias
+
+        results = {}
+        for backend in ("dense", "sparse"):
+            with use_backend(backend):
+                results[backend] = table3_accuracy_bias("quick", seed=0)
+        _assert_rows_close(results["dense"].rows, results["sparse"].rows, atol=1e-8)
+
+    def test_figure4_quick(self):
+        from repro.experiments.figures import figure4_attack_auc
+
+        results = {}
+        for backend in ("dense", "sparse"):
+            with use_backend(backend):
+                results[backend] = figure4_attack_auc("quick", seed=0)
+        _assert_rows_close(results["dense"].rows, results["sparse"].rows, atol=1e-8)
