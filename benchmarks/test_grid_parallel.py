@@ -1,0 +1,61 @@
+"""Benchmark: parallel grid execution + warm caches vs the serial cold path.
+
+Acceptance criterion of the grid-engine PR: a *repeated* quick table3 run
+(the workload of iterating on an experiment, or of figures that re-declare a
+table's cells) through a parallel runner with warm operator/model caches
+must cut wall-clock by ≥ 2× over the serial cold path.  The comparison runs
+the same grid twice per configuration:
+
+* **serial cold** — ``GridRunner(executor="serial", cache=False)``: every
+  cell (and every epoch's propagation operator) is rebuilt from scratch,
+  twice — the behaviour of the pre-engine hand-rolled loops;
+* **parallel warm** — ``GridRunner(executor="thread", jobs=2, cache=True)``:
+  independent (dataset) cells train concurrently, per-epoch operators are
+  memoised by graph revision, and the second run resolves every cell from
+  the artifact cache.
+
+Both configurations produce bitwise-identical rows (asserted), so the
+speedup is pure engineering headroom.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments.grid import GridRunner
+from repro.experiments.tables import table3_accuracy_bias
+
+
+def _repeated_table3(runner: GridRunner):
+    first = table3_accuracy_bias("quick", seed=0, runner=runner)
+    second = table3_accuracy_bias("quick", seed=0, runner=runner)
+    return first, second
+
+
+def test_parallel_warm_cache_speedup(benchmark):
+    cold_runner = GridRunner(executor="serial", cache=False)
+    start = time.perf_counter()
+    cold_first, cold_second = _repeated_table3(cold_runner)
+    cold_seconds = time.perf_counter() - start
+
+    warm_runner = GridRunner(executor="thread", jobs=2, cache=True)
+
+    def warm():
+        return _repeated_table3(warm_runner)
+
+    warm_first, warm_second = benchmark.pedantic(warm, rounds=1, iterations=1)
+    warm_seconds = benchmark.stats.stats.mean
+
+    speedup = cold_seconds / warm_seconds
+    print(
+        f"\nrepeated quick table3: serial cold {cold_seconds:.2f}s, "
+        f"thread(jobs=2)+cache {warm_seconds:.2f}s -> {speedup:.1f}x "
+        f"({warm_runner.cache_stats})"
+    )
+
+    # Identical results under every configuration...
+    assert cold_first.rows == cold_second.rows == warm_first.rows == warm_second.rows
+    # ...the repeat resolves entirely from cache...
+    assert warm_runner.cache_stats.hits >= 3
+    # ...and the engine pays for itself: ≥ 2× over the serial cold path.
+    assert speedup >= 2.0, f"expected >= 2x, measured {speedup:.2f}x"

@@ -34,11 +34,16 @@ def main() -> None:
         print(f"  {metric:12s} {auc:.3f}")
     print(f"  {'mean':12s} {baseline.mean_auc:.3f}\n")
 
-    # 2. LinkTeller on a subsample of candidate pairs (two queries per probe).
+    # 2. Structural Jaccard baseline (no model queries at all): the reference
+    # point showing how much of Attack-0's success is graph structure alone.
+    structural_auc = attack.evaluate_structural_baseline(graph, pairs, labels)
+    print(f"structural Jaccard baseline AUC: {structural_auc:.3f}\n")
+
+    # 3. LinkTeller on a subsample of candidate pairs (two queries per probe).
     linkteller_auc = LinkTellerAttack(perturbation=1e-2).evaluate(model, graph, num_pairs=60, rng=0)
     print(f"LinkTeller AUC (60 probed pairs): {linkteller_auc:.3f}\n")
 
-    # 3. Defences: serve posteriors computed on a protected graph structure.
+    # 4. Defences: serve posteriors computed on a protected graph structure.
     defences = {
         "EdgeRand eps=4": edge_rand(graph.adjacency, epsilon=4.0, rng=0),
         "LapGraph eps=4": lap_graph(graph.adjacency, epsilon=4.0, rng=0),

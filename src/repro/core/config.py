@@ -11,9 +11,13 @@ from repro.gnn.trainer import TrainConfig
 from repro.sparse.backend import available_backends, use_backend
 
 
+GRID_EXECUTORS = ("serial", "thread", "process")
+"""Executor names accepted by :class:`ComputeConfig` (and the grid engine)."""
+
+
 @dataclass
 class ComputeConfig:
-    """Compute-backend selection for graph propagation.
+    """Compute selection: propagation backend and grid-cell execution.
 
     Attributes
     ----------
@@ -23,9 +27,21 @@ class ComputeConfig:
         the surrounding context selected — e.g. the experiment CLI's
         ``--backend`` flag.  ``None`` is the default so per-method settings
         do not silently override a run-wide choice.
+    executor:
+        Grid-cell executor (``"serial"`` / ``"thread"`` / ``"process"``) used
+        when a :class:`repro.experiments.grid.GridRunner` is built from this
+        config; ``None`` infers ``"thread"`` when ``jobs > 1``.
+    jobs:
+        Worker count for parallel cell execution (the CLI's ``--jobs``).
+    cache:
+        Enables the artifact/operator caches of the grid engine; caching is
+        deterministic and trades memory for wall-clock only.
     """
 
     backend: Optional[str] = None
+    executor: Optional[str] = None
+    jobs: Optional[int] = None
+    cache: bool = True
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -35,9 +51,15 @@ class ComputeConfig:
                     f"backend must be one of {sorted(allowed)} or None, "
                     f"got {self.backend!r}"
                 )
+        if self.executor is not None and self.executor not in GRID_EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {GRID_EXECUTORS} or None, got {self.executor!r}"
+            )
+        if self.jobs is not None and self.jobs < 1:
+            raise ValueError("jobs must be at least 1")
 
     def activate(self) -> ContextManager[None]:
-        """Context manager applying this selection (no-op when inheriting)."""
+        """Context manager applying the backend selection (no-op when inheriting)."""
         if self.backend is None:
             return contextlib.nullcontext()
         return use_backend(self.backend)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.gnn.models import GNNModel
 from repro.graphs.graph import Graph
 from repro.graphs.perturb import heterophilic_candidates
+from repro.graphs.revision import tag_adjacency
 from repro.utils.rng import RandomState, ensure_rng
 
 
@@ -83,8 +84,10 @@ def privacy_aware_perturbation(
 
     delta = np.zeros_like(adjacency)
     if gamma == 0:
+        unchanged = adjacency.copy()
+        tag_adjacency(unchanged, owned=True)
         return PerturbationResult(
-            perturbed_adjacency=adjacency.copy(),
+            perturbed_adjacency=unchanged,
             delta_adjacency=delta,
             num_added_edges=0,
             gamma=gamma,
@@ -110,6 +113,9 @@ def privacy_aware_perturbation(
 
     perturbed = np.clip(adjacency + delta, 0.0, 1.0)
     np.fill_diagonal(perturbed, 0.0)
+    # The perturbed structure is owned by this result and never mutated, so
+    # PPFR's repeated fine-tune forwards can reuse its cached normalisation.
+    tag_adjacency(perturbed, owned=True)
     num_added = int(np.count_nonzero(np.triu(delta, k=1)))
     return PerturbationResult(
         perturbed_adjacency=perturbed,

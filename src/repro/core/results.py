@@ -21,7 +21,7 @@ from repro.fairness.inform import bias_metric
 from repro.gnn.models import GNNModel
 from repro.gnn.trainer import TrainResult
 from repro.graphs.graph import Graph
-from repro.graphs.similarity import jaccard_similarity
+from repro.graphs.similarity import graph_similarity
 from repro.nn.losses import accuracy as accuracy_score
 from repro.privacy.attacks.link_stealing import AttackResult, LinkStealingAttack
 from repro.privacy.risk import edge_privacy_risk
@@ -75,7 +75,7 @@ class MethodRun:
 def evaluate_method(
     run: MethodRun,
     model_name: str = "",
-    similarity: Optional[np.ndarray] = None,
+    similarity: Optional[object] = None,
     attack: Optional[LinkStealingAttack] = None,
     num_unconnected_risk_pairs: Optional[int] = 2000,
 ) -> MethodEvaluation:
@@ -88,8 +88,9 @@ def evaluate_method(
     model_name:
         Architecture label for reporting (``"gcn"``, ``"gat"``, ...).
     similarity:
-        Pre-computed Jaccard similarity of the original graph (recomputed when
-        omitted; pass it when evaluating many methods on the same graph).
+        Pre-computed Jaccard similarity of the original graph, dense or CSR
+        (recomputed backend-aware when omitted; pass it when evaluating many
+        methods on the same graph).
     attack:
         Configured link-stealing attack (defaults to the paper's eight
         distances with balanced negative sampling).
@@ -103,7 +104,7 @@ def evaluate_method(
     posteriors = run.posteriors()
     test_accuracy = accuracy_score(posteriors[graph.test_mask], graph.labels[graph.test_mask])
 
-    sim = jaccard_similarity(graph.adjacency) if similarity is None else similarity
+    sim = graph_similarity(graph) if similarity is None else similarity
     bias = bias_metric(posteriors, sim)
 
     attacker = attack or LinkStealingAttack()

@@ -23,7 +23,8 @@ Experiment index (see DESIGN.md §4):
 
 from repro.experiments.presets import ExperimentPreset, PRESETS, get_preset
 from repro.experiments.reporting import ExperimentResult, format_table
-from repro.experiments import tables, figures
+from repro.experiments.grid import CellResult, CellSpec, GridRunner, run_grid
+from repro.experiments import cells, tables, figures
 from repro.experiments.runner import run_experiment, EXPERIMENTS
 
 __all__ = [
@@ -32,6 +33,11 @@ __all__ = [
     "get_preset",
     "ExperimentResult",
     "format_table",
+    "CellSpec",
+    "CellResult",
+    "GridRunner",
+    "run_grid",
+    "cells",
     "tables",
     "figures",
     "run_experiment",

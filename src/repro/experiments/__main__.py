@@ -6,9 +6,11 @@ Run the Table IV grid at the quick preset and print the rows::
 
     python -m repro.experiments table4 --preset quick
 
-Run every experiment at the smoke preset and store JSON outputs::
+Run every experiment at the smoke preset, two cells at a time, and store
+JSON outputs (one shared runner means e.g. Figure 4 reuses Table III's
+trained cells)::
 
-    python -m repro.experiments all --preset smoke --output results/
+    python -m repro.experiments all --preset smoke --jobs 2 --output results/
 """
 
 from __future__ import annotations
@@ -18,9 +20,11 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.core.config import GRID_EXECUTORS
+from repro.experiments.grid import GridRunner
 from repro.experiments.presets import PRESETS
 from repro.experiments.runner import EXPERIMENTS, run_experiment
-from repro.sparse.backend import available_backends, use_backend
+from repro.sparse.backend import available_backends
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,6 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "parallel grid-cell workers; > 1 executes independent (dataset, "
+            "model) cells concurrently (default: 1, serial)"
+        ),
+    )
+    parser.add_argument(
+        "--executor",
+        default=None,
+        choices=GRID_EXECUTORS,
+        help=(
+            "cell executor; defaults to 'thread' when --jobs > 1 and 'serial' "
+            "otherwise ('process' isolates cells in worker processes)"
+        ),
+    )
+    cache = parser.add_mutually_exclusive_group()
+    cache.add_argument(
+        "--cache",
+        dest="cache",
+        action="store_true",
+        default=True,
+        help="enable the artifact/operator caches (default; deterministic)",
+    )
+    cache.add_argument(
+        "--no-cache",
+        dest="cache",
+        action="store_false",
+        help="disable caching (every cell trains from scratch)",
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="directory to write <experiment>.json result files into",
@@ -60,15 +96,26 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    with use_backend(args.backend):
-        for name in names:
-            result = run_experiment(name, preset=args.preset, seed=args.seed)
-            print(result.formatted())
-            print()
-            if args.output:
-                path = os.path.join(args.output, f"{name}.json")
-                result.save_json(path)
-                print(f"saved {path}")
+    # One runner for the whole invocation: experiments share trained cells
+    # (table3 and figure4 declare identical (gcn, vanilla/reg) grids), and
+    # the runner applies --backend around every cell on every executor.
+    runner = GridRunner(
+        executor=args.executor,
+        jobs=args.jobs,
+        cache=args.cache,
+        backend=args.backend,
+    )
+    for name in names:
+        result = run_experiment(name, preset=args.preset, seed=args.seed, runner=runner)
+        print(result.formatted())
+        print()
+        if args.output:
+            path = os.path.join(args.output, f"{name}.json")
+            result.save_json(path)
+            print(f"saved {path}")
+    stats = runner.cache_stats
+    if stats is not None:
+        print(f"artifact cache: {stats}")
     return 0
 
 

@@ -2,42 +2,34 @@
 
 Figures are reproduced as the data series that back them (no plotting
 dependency is available offline); each experiment returns the rows that would
-be plotted, which the benchmark harness prints.
+be plotted, which the benchmark harness prints.  Like the tables, every
+figure declares its grid as :class:`~repro.experiments.grid.CellSpec` lists
+executed through a :class:`~repro.experiments.grid.GridRunner` — Figure 4
+shares its (gcn, vanilla/reg) cells with Table III through the runner's
+artifact cache, and Figures 5/7 are projections of the Table IV grid.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.core.baselines import run_vanilla
-from repro.core.config import MethodSettings
-from repro.core.perturbation import privacy_aware_perturbation
-from repro.core.pipeline import run_all_methods
-from repro.core.results import MethodRun, evaluate_method
-from repro.datasets import load_dataset
-from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.grid import CellSpec, GridRunner, run_grid
+from repro.experiments.presets import ExperimentPreset
 from repro.experiments.reporting import ExperimentResult
 from repro.experiments.tables import table4_ppfr_effectiveness
-from repro.fairness.inform import inform_regularizer
-from repro.fairness.reweighting import compute_fairness_weights
-from repro.gnn.models import build_model
-from repro.gnn.trainer import Trainer
-from repro.graphs.similarity import jaccard_similarity
-from repro.privacy.attacks.link_stealing import LinkStealingAttack
 
 PresetLike = Union[str, ExperimentPreset]
 
 
 def _resolve(preset: PresetLike) -> ExperimentPreset:
-    return get_preset(preset) if isinstance(preset, str) else preset
+    return CellSpec.resolve_preset(preset)
 
 
 def figure4_attack_auc(
     preset: PresetLike = "quick",
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Figure 4: per-distance attack AUC before and after fairness regularisation.
 
@@ -46,20 +38,30 @@ def figure4_attack_auc(
     """
     preset = _resolve(preset)
     datasets = list(datasets or preset.strong_homophily_datasets)
-    rows = []
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        settings = preset.method_settings(dataset, seed=seed)
-        outcome = run_all_methods(
-            graph, "gcn", settings, methods=["reg"], hidden_features=preset.hidden_features
+    specs = [
+        CellSpec(
+            kind="methods",
+            dataset=dataset,
+            preset=preset,
+            model="gcn",
+            methods=("vanilla", "reg"),
+            seed=seed,
         )
+        for dataset in datasets
+    ]
+    rows: List[dict] = []
+    for cell in run_grid(specs, runner):
         for method in ("vanilla", "reg"):
-            evaluation = outcome["evaluations"][method]
-            row = {"dataset": dataset, "method": method}
+            evaluation = cell.payload["evaluations"][method]
+            row = {"dataset": cell.spec.dataset, "method": method}
             row.update(
-                {f"auc_{metric}": value for metric, value in evaluation.attack.auc_per_metric.items()}
+                {
+                    key: value
+                    for key, value in evaluation.items()
+                    if key.startswith("auc_")
+                }
             )
-            row["auc_mean"] = evaluation.attack.mean_auc
+            row["auc_mean"] = evaluation["mean_auc"]
             rows.append(row)
     return ExperimentResult("figure4_attack_auc", rows, {"preset": preset.name})
 
@@ -83,6 +85,7 @@ def figure5_accuracy_cost(
     preset: PresetLike = "quick",
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Figure 5: accuracy cost (ΔAcc %) of each method on GCN and GAT.
 
@@ -91,7 +94,9 @@ def figure5_accuracy_cost(
     """
     preset = _resolve(preset)
     models = [m for m in ("gcn", "gat") if m in preset.models] or ["gcn"]
-    table4 = table4_ppfr_effectiveness(preset, seed=seed, datasets=datasets, models=models)
+    table4 = table4_ppfr_effectiveness(
+        preset, seed=seed, datasets=datasets, models=models, runner=runner
+    )
     rows = _accuracy_cost_rows(table4, models)
     return ExperimentResult("figure5_accuracy_cost", rows, {"preset": preset.name})
 
@@ -100,6 +105,7 @@ def figure7_graphsage_cost(
     preset: PresetLike = "quick",
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Figure 7: accuracy cost of each method on GraphSAGE.
 
@@ -108,7 +114,7 @@ def figure7_graphsage_cost(
     """
     preset = _resolve(preset)
     table4 = table4_ppfr_effectiveness(
-        preset, seed=seed, datasets=datasets, models=["graphsage"]
+        preset, seed=seed, datasets=datasets, models=["graphsage"], runner=runner
     )
     rows = _accuracy_cost_rows(table4, ["graphsage"])
     return ExperimentResult("figure7_graphsage_cost", rows, {"preset": preset.name})
@@ -121,6 +127,7 @@ def figure6_ablation(
     model_name: Optional[str] = None,
     epoch_fractions: Sequence[float] = (0.05, 0.1, 0.2, 0.3),
     gammas: Sequence[float] = (0.0, 0.1, 0.2, 0.4),
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Figure 6: PPFR ablations on one (dataset, model) cell.
 
@@ -132,101 +139,27 @@ def figure6_ablation(
       (middle panel: risk and accuracy both fall as γ grows).
     * ``ppfr_epochs`` — fixed PP + FR, sweeping the epoch budget (right panel:
       risk stays near the vanilla level while bias falls).
+
+    The sweep is one ``ablation`` cell by construction: every arm rewinds and
+    fine-tunes the *same* vanilla model, so the panels share state and run as
+    a unit.
     """
     preset = _resolve(preset)
     model_name = model_name or ("gat" if "gat" in preset.models else preset.models[0])
-    graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-    settings = preset.method_settings(dataset, seed=seed)
-    similarity = jaccard_similarity(graph.adjacency)
-    attack = LinkStealingAttack(seed=settings.attack_seed)
-
-    # Phase one: a single vanilla model shared by every ablation arm.
-    base_model = build_model(
-        model_name,
-        in_features=graph.num_features,
-        num_classes=graph.num_classes,
-        hidden_features=preset.hidden_features,
-        rng=settings.model_seed,
+    spec = CellSpec(
+        kind="ablation",
+        dataset=dataset,
+        preset=preset,
+        model=model_name,
+        seed=seed,
+        overrides=(
+            ("epoch_fractions", tuple(float(f) for f in epoch_fractions)),
+            ("gammas", tuple(float(g) for g in gammas)),
+        ),
     )
-    trainer = Trainer(base_model, settings.train)
-    trainer.fit(graph)
-    base_state = base_model.state_dict()
-
-    weights = compute_fairness_weights(
-        base_model, graph, config=settings.ppfr.reweighting
-    )
-    fixed_perturbation = privacy_aware_perturbation(
-        base_model, graph, gamma=settings.ppfr.gamma, rng=settings.ppfr.seed
-    )
-
-    def evaluate(tag: str, serving_adjacency: np.ndarray, **extras) -> Dict:
-        run = MethodRun(
-            method=tag, model=base_model, graph=graph, serving_adjacency=serving_adjacency
-        )
-        evaluation = evaluate_method(
-            run, model_name=model_name, similarity=similarity, attack=attack
-        )
-        row = {
-            "panel": tag,
-            "accuracy": evaluation.accuracy,
-            "bias": evaluation.bias,
-            "risk_auc": evaluation.risk_auc,
-        }
-        row.update(extras)
-        return row
-
-    rows = [evaluate("vanilla", graph.adjacency, sweep_value=0.0)]
-
-    # Panel 1: FR only, sweep the number of fine-tuning epochs.
-    for fraction in epoch_fractions:
-        base_model.load_state_dict(base_state)
-        epochs = max(1, int(round(fraction * settings.train.epochs)))
-        trainer.fine_tune(
-            graph,
-            epochs=epochs,
-            sample_weights=weights.loss_multipliers,
-            learning_rate_scale=settings.ppfr.fine_tune_lr_scale,
-        )
-        rows.append(evaluate("fr_epochs", graph.adjacency, sweep_value=float(epochs)))
-
-    # Panel 2: PP + fixed FR, sweep the perturbation ratio γ.
-    fixed_epochs = settings.ppfr.fine_tune_epochs(settings.train.epochs)
-    for gamma in gammas:
-        base_model.load_state_dict(base_state)
-        perturbation = privacy_aware_perturbation(
-            base_model, graph, gamma=gamma, rng=settings.ppfr.seed
-        )
-        trainer.fine_tune(
-            graph,
-            epochs=fixed_epochs,
-            sample_weights=weights.loss_multipliers,
-            adjacency_override=perturbation.perturbed_adjacency,
-            learning_rate_scale=settings.ppfr.fine_tune_lr_scale,
-        )
-        rows.append(
-            evaluate("pp_gamma", perturbation.perturbed_adjacency, sweep_value=float(gamma))
-        )
-
-    # Panel 3: fixed PP + FR, sweep the number of fine-tuning epochs.
-    for fraction in epoch_fractions:
-        base_model.load_state_dict(base_state)
-        epochs = max(1, int(round(fraction * settings.train.epochs)))
-        trainer.fine_tune(
-            graph,
-            epochs=epochs,
-            sample_weights=weights.loss_multipliers,
-            adjacency_override=fixed_perturbation.perturbed_adjacency,
-            learning_rate_scale=settings.ppfr.fine_tune_lr_scale,
-        )
-        rows.append(
-            evaluate(
-                "ppfr_epochs", fixed_perturbation.perturbed_adjacency, sweep_value=float(epochs)
-            )
-        )
-
-    base_model.load_state_dict(base_state)
+    (cell,) = run_grid([spec], runner)
     return ExperimentResult(
         "figure6_ablation",
-        rows,
+        cell.payload["rows"],
         {"preset": preset.name, "dataset": dataset, "model": model_name},
     )

@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Union
+from typing import Callable, Dict, Optional, Union
 
 from repro.experiments import figures, tables
+from repro.experiments.grid import GridRunner
 from repro.experiments.presets import ExperimentPreset
 from repro.experiments.reporting import ExperimentResult
 
@@ -28,12 +29,18 @@ def run_experiment(
     name: str,
     preset: Union[str, ExperimentPreset] = "quick",
     seed: int = 0,
+    runner: Optional[GridRunner] = None,
     **kwargs,
 ) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"table4"``)."""
+    """Run one experiment by id (e.g. ``"table4"``).
+
+    ``runner`` controls grid execution (executor, jobs, caches); sharing one
+    runner across calls lets experiments reuse each other's trained cells —
+    e.g. Figure 4 resolves Table III's (gcn, vanilla/reg) cells from cache.
+    """
     key = name.lower()
     if key not in EXPERIMENTS:
         raise KeyError(
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         )
-    return EXPERIMENTS[key](preset=preset, seed=seed, **kwargs)
+    return EXPERIMENTS[key](preset=preset, seed=seed, runner=runner, **kwargs)

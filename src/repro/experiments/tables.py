@@ -1,30 +1,27 @@
-"""Reproduction of the paper's tables (II, III, IV, V) plus Prop. V.2 diagnostics."""
+"""Reproduction of the paper's tables (II, III, IV, V) plus Prop. V.2 diagnostics.
+
+Every table *declares* its (dataset × model × method × seed) grid as
+:class:`~repro.experiments.grid.CellSpec` lists and executes it through a
+:class:`~repro.experiments.grid.GridRunner` — serial by default, thread/
+process-parallel via the runner (or the CLI's ``--jobs``), with shared work
+deduplicated by the runner's artifact cache.  Row assembly is pure
+projection of the cell payloads, so executor choice and cache state never
+change results.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.core.pipeline import run_all_methods
-from repro.datasets import load_dataset
-from repro.experiments.presets import ExperimentPreset, get_preset
+from repro.experiments.grid import CellSpec, GridRunner, run_grid
+from repro.experiments.presets import ExperimentPreset
 from repro.experiments.reporting import ExperimentResult
-from repro.fairness.inform import bias_from_graph
-from repro.gnn.models import build_model
-from repro.gnn.trainer import Trainer
-from repro.graphs.homophily import class_linking_probabilities, edge_homophily
-from repro.graphs.khop import two_hop_ratio_empirical, two_hop_ratio_theoretical
-from repro.graphs.similarity import jaccard_similarity
-from repro.influence.correlation import pearson_correlation
-from repro.influence.functions import InfluenceConfig, InfluenceEstimator
-from repro.privacy.attacks.link_stealing import LinkStealingAttack
 
 PresetLike = Union[str, ExperimentPreset]
 
 
 def _resolve(preset: PresetLike) -> ExperimentPreset:
-    return get_preset(preset) if isinstance(preset, str) else preset
+    return CellSpec.resolve_preset(preset)
 
 
 def table2_influence_correlation(
@@ -32,6 +29,7 @@ def table2_influence_correlation(
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Table II: Pearson r between ``I_fbias`` and ``I_frisk``.
 
@@ -44,32 +42,20 @@ def table2_influence_correlation(
     preset = _resolve(preset)
     datasets = list(datasets or preset.strong_homophily_datasets)
     models = list(models or preset.models)
-    rows = []
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        settings = preset.method_settings(dataset, seed=seed)
-        for model_name in models:
-            model = build_model(
-                model_name,
-                in_features=graph.num_features,
-                num_classes=graph.num_classes,
-                hidden_features=preset.hidden_features,
-                rng=settings.model_seed,
-            )
-            Trainer(model, settings.train).fit(graph)
-            estimator = InfluenceEstimator(
-                model, graph, config=InfluenceConfig(cg_iterations=preset.cg_iterations)
-            )
-            bias_influence = estimator.bias_influence()
-            risk_influence = estimator.risk_influence()
-            rows.append(
-                {
-                    "dataset": dataset,
-                    "model": model_name,
-                    "pearson_r": pearson_correlation(bias_influence, risk_influence),
-                    "num_train_nodes": int(bias_influence.shape[0]),
-                }
-            )
+    specs = [
+        CellSpec(kind="influence", dataset=dataset, preset=preset, model=model, seed=seed)
+        for dataset in datasets
+        for model in models
+    ]
+    rows = [
+        {
+            "dataset": cell.spec.dataset,
+            "model": cell.spec.model,
+            "pearson_r": cell.payload["pearson_r"],
+            "num_train_nodes": cell.payload["num_train_nodes"],
+        }
+        for cell in run_grid(specs, runner)
+    ]
     return ExperimentResult("table2_influence_correlation", rows, {"preset": preset.name})
 
 
@@ -77,6 +63,7 @@ def table3_accuracy_bias(
     preset: PresetLike = "quick",
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Table III: accuracy and bias of GCN, Vanilla vs Reg.
 
@@ -85,25 +72,27 @@ def table3_accuracy_bias(
     """
     preset = _resolve(preset)
     datasets = list(datasets or preset.strong_homophily_datasets)
-    rows = []
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        settings = preset.method_settings(dataset, seed=seed)
-        outcome = run_all_methods(
-            graph,
-            "gcn",
-            settings,
-            methods=["reg"],
-            hidden_features=preset.hidden_features,
+    specs = [
+        CellSpec(
+            kind="methods",
+            dataset=dataset,
+            preset=preset,
+            model="gcn",
+            methods=("vanilla", "reg"),
+            seed=seed,
         )
+        for dataset in datasets
+    ]
+    rows: List[dict] = []
+    for cell in run_grid(specs, runner):
         for method in ("vanilla", "reg"):
-            evaluation = outcome["evaluations"][method]
+            evaluation = cell.payload["evaluations"][method]
             rows.append(
                 {
-                    "dataset": dataset,
+                    "dataset": cell.spec.dataset,
                     "method": method,
-                    "accuracy_percent": 100.0 * evaluation.accuracy,
-                    "bias": evaluation.bias,
+                    "accuracy_percent": 100.0 * evaluation["accuracy"],
+                    "bias": evaluation["bias"],
                 }
             )
     return ExperimentResult("table3_accuracy_bias", rows, {"preset": preset.name})
@@ -115,6 +104,7 @@ def table4_ppfr_effectiveness(
     datasets: Optional[Sequence[str]] = None,
     models: Optional[Sequence[str]] = None,
     methods: Sequence[str] = ("reg", "dpreg", "dpfr", "ppfr"),
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Table IV: Δbias, Δrisk and Δ of every method on the strong-homophily grid.
 
@@ -125,36 +115,42 @@ def table4_ppfr_effectiveness(
     preset = _resolve(preset)
     datasets = list(datasets or preset.strong_homophily_datasets)
     models = list(models or preset.models)
-    rows = []
-    evaluations_meta: Dict[str, Dict] = {}
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        settings = preset.method_settings(dataset, seed=seed)
-        for model_name in models:
-            outcome = run_all_methods(
-                graph,
-                model_name,
-                settings,
-                methods=list(methods),
-                hidden_features=preset.hidden_features,
+    methods = tuple(methods)
+    specs = [
+        CellSpec(
+            kind="methods",
+            dataset=dataset,
+            preset=preset,
+            model=model,
+            methods=("vanilla",) + methods,
+            seed=seed,
+        )
+        for dataset in datasets
+        for model in models
+    ]
+    rows: List[dict] = []
+    evaluations_meta: dict = {}
+    for cell in run_grid(specs, runner):
+        vanilla = cell.payload["evaluations"]["vanilla"]
+        meta_key = f"{cell.spec.dataset}/{cell.spec.model}/vanilla"
+        evaluations_meta[meta_key] = {
+            key: value for key, value in vanilla.items() if not key.startswith(("auc_", "mean_", "max_"))
+        }
+        for method in methods:
+            delta = cell.payload["deltas"][method]
+            evaluation = cell.payload["evaluations"][method]
+            rows.append(
+                {
+                    "dataset": cell.spec.dataset,
+                    "model": cell.spec.model,
+                    "method": method,
+                    "delta_bias_percent": delta["delta_bias_percent"],
+                    "delta_risk_percent": delta["delta_risk_percent"],
+                    "delta_combined": delta["delta_combined"],
+                    "delta_accuracy_percent": delta["delta_accuracy_percent"],
+                    "accuracy_percent": 100.0 * evaluation["accuracy"],
+                }
             )
-            vanilla = outcome["evaluations"]["vanilla"]
-            evaluations_meta[f"{dataset}/{model_name}/vanilla"] = vanilla.to_dict()
-            for method in methods:
-                delta = outcome["deltas"][method]
-                evaluation = outcome["evaluations"][method]
-                rows.append(
-                    {
-                        "dataset": dataset,
-                        "model": model_name,
-                        "method": method,
-                        "delta_bias_percent": 100.0 * delta.delta_bias,
-                        "delta_risk_percent": 100.0 * delta.delta_risk,
-                        "delta_combined": delta.delta_combined,
-                        "delta_accuracy_percent": 100.0 * delta.delta_accuracy,
-                        "accuracy_percent": 100.0 * evaluation.accuracy,
-                    }
-                )
     return ExperimentResult(
         "table4_ppfr_effectiveness", rows, {"preset": preset.name, "vanilla": evaluations_meta}
     )
@@ -165,6 +161,7 @@ def table5_weak_homophily(
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
     methods: Sequence[str] = ("reg", "dpreg", "dpfr", "ppfr"),
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Table V: the same method grid on weak-homophily graphs (GCN only).
 
@@ -174,23 +171,30 @@ def table5_weak_homophily(
     """
     preset = _resolve(preset)
     datasets = list(datasets or preset.weak_homophily_datasets)
-    rows = []
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        settings = preset.method_settings(dataset, seed=seed)
-        outcome = run_all_methods(
-            graph, "gcn", settings, methods=list(methods), hidden_features=preset.hidden_features
+    methods = tuple(methods)
+    specs = [
+        CellSpec(
+            kind="methods",
+            dataset=dataset,
+            preset=preset,
+            model="gcn",
+            methods=("vanilla",) + methods,
+            seed=seed,
         )
+        for dataset in datasets
+    ]
+    rows: List[dict] = []
+    for cell in run_grid(specs, runner):
         for method in methods:
-            delta = outcome["deltas"][method]
+            delta = cell.payload["deltas"][method]
             rows.append(
                 {
-                    "dataset": dataset,
+                    "dataset": cell.spec.dataset,
                     "method": method,
-                    "delta_accuracy_percent": 100.0 * delta.delta_accuracy,
-                    "delta_bias_percent": 100.0 * delta.delta_bias,
-                    "delta_risk_percent": 100.0 * delta.delta_risk,
-                    "delta_combined": delta.delta_combined,
+                    "delta_accuracy_percent": delta["delta_accuracy_percent"],
+                    "delta_bias_percent": delta["delta_bias_percent"],
+                    "delta_risk_percent": delta["delta_risk_percent"],
+                    "delta_combined": delta["delta_combined"],
                 }
             )
     return ExperimentResult("table5_weak_homophily", rows, {"preset": preset.name})
@@ -200,6 +204,7 @@ def proposition_tradeoff_diagnostics(
     preset: PresetLike = "quick",
     seed: int = 0,
     datasets: Optional[Sequence[str]] = None,
+    runner: Optional[GridRunner] = None,
 ) -> ExperimentResult:
     """Diagnostics behind Lemma V.1 / Proposition V.2.
 
@@ -210,29 +215,11 @@ def proposition_tradeoff_diagnostics(
     """
     preset = _resolve(preset)
     datasets = list(datasets or (preset.strong_homophily_datasets + preset.weak_homophily_datasets))
-    rows = []
-    for dataset in datasets:
-        graph = load_dataset(dataset, seed=seed, scale=preset.dataset_scale)
-        p, q = class_linking_probabilities(graph.adjacency, graph.labels)
-        settings = preset.method_settings(dataset, seed=seed)
-        model = build_model(
-            "gcn",
-            in_features=graph.num_features,
-            num_classes=graph.num_classes,
-            hidden_features=preset.hidden_features,
-            rng=settings.model_seed,
-        )
-        Trainer(model, settings.train).fit(graph)
-        posteriors = model.predict_proba(graph.features, graph.adjacency)
-        rows.append(
-            {
-                "dataset": dataset,
-                "edge_homophily": edge_homophily(graph.adjacency, graph.labels),
-                "p_intra": p,
-                "q_inter": q,
-                "two_hop_ratio_theory": two_hop_ratio_theoretical(p, q),
-                "two_hop_ratio_empirical": two_hop_ratio_empirical(graph.adjacency),
-                "vanilla_bias": bias_from_graph(posteriors, graph),
-            }
-        )
+    specs = [
+        CellSpec(kind="diagnostics", dataset=dataset, preset=preset, model="gcn", seed=seed)
+        for dataset in datasets
+    ]
+    rows = [
+        {"dataset": cell.spec.dataset, **cell.payload} for cell in run_grid(specs, runner)
+    ]
     return ExperimentResult("proposition_tradeoff_diagnostics", rows, {"preset": preset.name})

@@ -8,19 +8,23 @@ the interested function ``f_bias`` for influence computations.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 import numpy as np
 
 from repro.graphs.graph import Graph
 from repro.graphs.laplacian import laplacian
-from repro.graphs.similarity import jaccard_similarity
+from repro.graphs.similarity import graph_similarity, jaccard_similarity
 from repro.nn.tensor import Tensor
+from repro.sparse.autodiff import spmm
+from repro.sparse.csr import CSRMatrix
 from repro.utils.validation import check_positive
+
+SimilarityLike = Union[np.ndarray, CSRMatrix]
 
 
 def bias_metric(
-    predictions: np.ndarray, similarity: np.ndarray, normalize: bool = True
+    predictions: np.ndarray, similarity: SimilarityLike, normalize: bool = True
 ) -> float:
     """Individual-fairness bias ``Tr(Yᵀ L_S Y)`` of prediction matrix ``Y``.
 
@@ -29,45 +33,64 @@ def bias_metric(
     predictions:
         ``(N, C)`` model outputs (softmax probabilities in the paper).
     similarity:
-        ``(N, N)`` symmetric similarity matrix ``S``.
+        ``(N, N)`` symmetric similarity matrix ``S`` — dense, or a
+        :class:`repro.sparse.CSRMatrix` (the sparse attack path), in which
+        case the quadratic form is evaluated through the CSR Laplacian in
+        O(nnz · C) without densifying.
     normalize:
         When True the trace is divided by the number of nonzero similarity
         entries, making values comparable across graph sizes (the paper
         reports bias on this order of magnitude, e.g. 0.0766 for Cora).
     """
     predictions = np.asarray(predictions, dtype=np.float64)
-    similarity = np.asarray(similarity, dtype=np.float64)
     if predictions.ndim != 2:
         raise ValueError("predictions must be 2-dimensional")
-    if similarity.shape != (predictions.shape[0], predictions.shape[0]):
-        raise ValueError("similarity shape does not match predictions")
-    lap = laplacian(similarity)
-    raw = float(np.trace(predictions.T @ lap @ predictions))
+    if isinstance(similarity, CSRMatrix):
+        if similarity.shape != (predictions.shape[0], predictions.shape[0]):
+            raise ValueError("similarity shape does not match predictions")
+        lap = laplacian(similarity)
+        raw = float(np.sum(predictions * lap.matmul_dense(predictions)))
+        nonzero = similarity.nnz
+    else:
+        similarity = np.asarray(similarity, dtype=np.float64)
+        if similarity.shape != (predictions.shape[0], predictions.shape[0]):
+            raise ValueError("similarity shape does not match predictions")
+        lap = laplacian(similarity)
+        raw = float(np.trace(predictions.T @ lap @ predictions))
+        nonzero = int(np.count_nonzero(similarity))
     if not normalize:
         return raw
-    nonzero = int(np.count_nonzero(similarity))
     return raw / max(nonzero, 1)
 
 
 def bias_from_graph(
     predictions: np.ndarray, graph: Graph, normalize: bool = True
 ) -> float:
-    """Bias of ``predictions`` using the graph's Jaccard similarity."""
-    similarity = jaccard_similarity(graph.adjacency)
+    """Bias of ``predictions`` using the graph's (backend-aware) Jaccard similarity."""
+    similarity = graph_similarity(graph)
     return bias_metric(predictions, similarity, normalize=normalize)
 
 
 def bias_tensor(
-    probabilities: Tensor, laplacian_matrix: np.ndarray, scale: float = 1.0
+    probabilities: Tensor,
+    laplacian_matrix: SimilarityLike,
+    scale: float = 1.0,
 ) -> Tensor:
-    """Differentiable bias ``scale · Tr(Yᵀ L_S Y)`` for use inside losses."""
-    lap = Tensor(np.asarray(laplacian_matrix, dtype=np.float64))
-    quadratic = probabilities * lap.matmul(probabilities)
+    """Differentiable bias ``scale · Tr(Yᵀ L_S Y)`` for use inside losses.
+
+    Accepts the Laplacian in dense or CSR form; the CSR path applies it with
+    the tape-integrated ``spmm`` so gradients flow without densification.
+    """
+    if isinstance(laplacian_matrix, CSRMatrix):
+        quadratic = probabilities * spmm(laplacian_matrix, probabilities)
+    else:
+        lap = Tensor(np.asarray(laplacian_matrix, dtype=np.float64))
+        quadratic = probabilities * lap.matmul(probabilities)
     return quadratic.sum() * scale
 
 
 def inform_regularizer(
-    similarity: Optional[np.ndarray] = None,
+    similarity: Optional[SimilarityLike] = None,
     weight: float = 1.0,
     normalize: bool = True,
 ) -> Callable[[Tensor, Graph], Tensor]:
@@ -76,8 +99,8 @@ def inform_regularizer(
     Parameters
     ----------
     similarity:
-        Pre-computed similarity matrix.  When omitted, the Jaccard similarity
-        of the training graph is computed (and cached) on first use.
+        Pre-computed similarity matrix (dense or CSR).  When omitted, the
+        Jaccard similarity of the training graph is computed on first use.
     weight:
         Regularisation strength λ added to the task loss.
     normalize:
@@ -87,23 +110,36 @@ def inform_regularizer(
     Returns
     -------
     A callable ``(logits, graph) -> Tensor`` compatible with
-    :class:`repro.gnn.trainer.Trainer`.
+    :class:`repro.gnn.trainer.Trainer`.  The similarity Laplacian and the
+    normalisation scale are memoised per graph revision, so the per-epoch
+    cost of the penalty is one Laplacian product instead of a similarity
+    rebuild.
     """
     check_positive(weight, name="weight")
-    cache: dict[int, np.ndarray] = {}
+    cache: dict = {}
 
-    def regularizer(logits: Tensor, graph: Graph) -> Tensor:
+    def _materialise(graph: Graph):
         if similarity is not None:
-            sim = np.asarray(similarity, dtype=np.float64)
+            sim = (
+                similarity
+                if isinstance(similarity, CSRMatrix)
+                else np.asarray(similarity, dtype=np.float64)
+            )
         else:
-            key = id(graph)
-            if key not in cache:
-                cache[key] = jaccard_similarity(graph.adjacency)
-            sim = cache[key]
+            sim = jaccard_similarity(graph.adjacency)
         lap = laplacian(sim)
         scale = weight
         if normalize:
-            scale = weight / max(int(np.count_nonzero(sim)), 1)
+            nonzero = sim.nnz if isinstance(sim, CSRMatrix) else int(np.count_nonzero(sim))
+            scale = weight / max(nonzero, 1)
+        return lap, scale
+
+    def regularizer(logits: Tensor, graph: Graph) -> Tensor:
+        key = (id(graph), graph.revision)
+        if key not in cache:
+            cache.clear()  # one graph per training run; drop stale revisions
+            cache[key] = _materialise(graph)
+        lap, scale = cache[key]
         probabilities = logits.softmax(axis=1)
         return bias_tensor(probabilities, lap, scale=scale)
 

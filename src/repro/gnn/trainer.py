@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.gnn.models import GNNModel
 from repro.graphs.graph import Graph
+from repro.graphs.revision import ensure_revision
 from repro.nn.losses import accuracy, cross_entropy, weighted_cross_entropy
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.tensor import Tensor
@@ -123,6 +124,11 @@ class Trainer:
         adjacency = graph.adjacency if adjacency_override is None else np.asarray(
             adjacency_override, dtype=np.float64
         )
+        # Scope the structure for the operator cache: owned tags (Graph /
+        # perturbation producers) are reused, anything else gets a fresh
+        # revision so every epoch of this run shares one normalisation while
+        # a mutated caller-owned array can never hit a stale entry.
+        ensure_revision(adjacency)
 
         optimizer = self._build_optimizer()
         history: Dict[str, List[float]] = {

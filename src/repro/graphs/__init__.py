@@ -9,7 +9,18 @@ block-model generators used to synthesise dataset surrogates.
 """
 
 from repro.graphs.graph import Graph
-from repro.graphs.similarity import jaccard_similarity, cosine_feature_similarity
+from repro.graphs.revision import (
+    adjacency_revision,
+    ensure_revision,
+    next_revision,
+    tag_adjacency,
+)
+from repro.graphs.similarity import (
+    cosine_feature_similarity,
+    graph_similarity,
+    jaccard_for_pairs,
+    jaccard_similarity,
+)
 from repro.graphs.laplacian import laplacian, normalized_laplacian
 from repro.graphs.khop import (
     shortest_path_hops,
@@ -36,7 +47,13 @@ from repro.graphs.io import save_graph, load_graph
 
 __all__ = [
     "Graph",
+    "adjacency_revision",
+    "ensure_revision",
+    "next_revision",
+    "tag_adjacency",
     "jaccard_similarity",
+    "jaccard_for_pairs",
+    "graph_similarity",
     "cosine_feature_similarity",
     "laplacian",
     "normalized_laplacian",

@@ -9,10 +9,11 @@ instances (see :mod:`repro.graphs.perturb`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.graphs.revision import next_revision, tag_adjacency
 from repro.utils.validation import (
     check_adjacency,
     check_features,
@@ -68,6 +69,55 @@ class Graph:
                     mask_name,
                     check_mask(np.asarray(mask), num_nodes=self.num_nodes, name=mask_name),
                 )
+        self._revision = tag_adjacency(self.adjacency, owned=True)
+        self._csr_cache: Optional[Tuple[int, object]] = None
+
+    # ------------------------------------------------------------------ #
+    # Structure revision (operator-cache key)
+    # ------------------------------------------------------------------ #
+    @property
+    def revision(self) -> int:
+        """Monotonically increasing id of this graph's structure.
+
+        Every constructed ``Graph`` receives a fresh process-unique revision
+        (so structure-deriving helpers such as :meth:`with_adjacency` never
+        alias an older graph's operators), and any in-place mutation of
+        ``adjacency`` must call :meth:`bump_revision`.  Derived caches — the
+        CSR view below and the propagation-operator cache in
+        :mod:`repro.sparse.opcache` — key on this value, which is what makes
+        serving a stale normalisation impossible.
+        """
+        return self._revision
+
+    def bump_revision(self) -> int:
+        """Declare an in-place mutation of ``adjacency``.
+
+        Assigns a fresh revision, re-tags the adjacency array and drops the
+        cached CSR view.  Mutating ``adjacency`` without calling this voids
+        the operator-cache contract.
+        """
+        self._revision = tag_adjacency(self.adjacency, owned=True)
+        self._csr_cache = None
+        return self._revision
+
+    def csr(self):
+        """CSR view of the adjacency, cached per :attr:`revision`.
+
+        The view is tagged with the same revision as the dense array, so
+        propagation operators built from either representation share cache
+        entries.  Edge extraction (:meth:`edge_list`, :meth:`non_edge_sample`)
+        goes through this view: repeated attack evaluations touch O(m)
+        adjacency lists instead of re-scanning the dense ``(N, N)`` matrix.
+        """
+        from repro.sparse.csr import CSRMatrix
+
+        cached = self._csr_cache
+        if cached is not None and cached[0] == self._revision:
+            return cached[1]
+        matrix = CSRMatrix.from_dense(self.adjacency)
+        tag_adjacency(matrix, revision=self._revision, owned=True)
+        self._csr_cache = (self._revision, matrix)
+        return matrix
 
     # ------------------------------------------------------------------ #
     # Basic properties
@@ -107,9 +157,16 @@ class Graph:
     # Edge views
     # ------------------------------------------------------------------ #
     def edge_list(self) -> np.ndarray:
-        """Return a ``(E, 2)`` array of undirected edges with ``i < j``."""
-        rows, cols = np.nonzero(np.triu(self.adjacency, k=1))
-        return np.stack([rows, cols], axis=1)
+        """Return a ``(E, 2)`` array of undirected edges with ``i < j``.
+
+        Extracted from the cached CSR view — row-major with ascending columns,
+        i.e. exactly the ordering of ``np.nonzero(np.triu(adjacency, k=1))`` —
+        so repeated attack-pair extraction costs O(m), not O(N²).
+        """
+        csr = self.csr()
+        rows, cols, _ = csr.to_coo()
+        upper = rows < cols
+        return np.stack([rows[upper], cols[upper]], axis=1)
 
     def non_edge_sample(
         self, count: int, rng: np.random.Generator
@@ -121,6 +178,14 @@ class Graph:
         if count < 0:
             raise ValueError("count must be non-negative")
         n = self.num_nodes
+        csr = self.csr()
+        indptr, indices = csr.indptr, csr.indices
+
+        def connected(a: int, b: int) -> bool:
+            row = indices[indptr[a] : indptr[a + 1]]
+            position = int(np.searchsorted(row, b))
+            return position < row.size and row[position] == b
+
         seen: set[tuple[int, int]] = set()
         result = []
         max_attempts = 50 * max(count, 1) + 1000
@@ -132,7 +197,7 @@ class Graph:
             if i == j:
                 continue
             a, b = (i, j) if i < j else (j, i)
-            if (a, b) in seen or self.adjacency[a, b] != 0:
+            if (a, b) in seen or connected(a, b):
                 continue
             seen.add((a, b))
             result.append((a, b))

@@ -9,20 +9,29 @@ similarity of InFoRM is also provided for completeness and ablations.
 
 from __future__ import annotations
 
+from typing import Union
+
 import numpy as np
 
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import jaccard_pairs_csr, jaccard_similarity_csr
 from repro.utils.validation import check_adjacency, check_features
+
+MatrixLike = Union[np.ndarray, CSRMatrix]
 
 
 def jaccard_similarity(
-    adjacency: np.ndarray, include_self_loops: bool = True
-) -> np.ndarray:
+    adjacency: MatrixLike, include_self_loops: bool = True
+) -> MatrixLike:
     """Jaccard similarity matrix ``S`` with ``S_ij = |N(i)∩N(j)| / |N(i)∪N(j)|``.
 
     Parameters
     ----------
     adjacency:
-        ``(N, N)`` symmetric binary adjacency matrix.
+        ``(N, N)`` symmetric binary adjacency matrix — dense, or a
+        :class:`repro.sparse.CSRMatrix`, in which case the similarity is
+        computed through CSR neighbour intersections and returned in CSR form
+        (bitwise-equal stored values, O(Σ deg²) instead of O(N²) work).
     include_self_loops:
         When True (the paper's setting, via the GCN normalisation ``A + I``)
         each node is a member of its own neighbourhood, so 1-hop neighbours
@@ -30,8 +39,10 @@ def jaccard_similarity(
 
     Returns
     -------
-    ``(N, N)`` dense similarity matrix with zero diagonal.
+    ``(N, N)`` similarity matrix with zero diagonal, in the input's format.
     """
+    if isinstance(adjacency, CSRMatrix):
+        return jaccard_similarity_csr(adjacency, include_self_loops=include_self_loops)
     adjacency = check_adjacency(adjacency)
     binary = (adjacency > 0).astype(np.float64)
     if include_self_loops:
@@ -44,6 +55,42 @@ def jaccard_similarity(
         similarity = np.where(union > 0, intersection / union, 0.0)
     np.fill_diagonal(similarity, 0.0)
     return similarity
+
+
+def jaccard_for_pairs(
+    adjacency: MatrixLike,
+    pairs: np.ndarray,
+    include_self_loops: bool = True,
+) -> np.ndarray:
+    """Jaccard similarity of explicit ``(M, 2)`` candidate pairs.
+
+    The pair-restricted companion of :func:`jaccard_similarity` (mirroring
+    ``pairwise_posterior_distance`` vs ``distance_matrix`` on the attack
+    side): structural scores for attack candidate pairs are computed by CSR
+    neighbour intersection at O(deg) per pair, never materialising an
+    ``(N, N)`` matrix.  Dense inputs are converted to CSR once.
+    """
+    csr = adjacency if isinstance(adjacency, CSRMatrix) else CSRMatrix.from_dense(
+        check_adjacency(adjacency)
+    )
+    return jaccard_pairs_csr(csr, pairs, include_self_loops=include_self_loops)
+
+
+def graph_similarity(graph) -> MatrixLike:
+    """Backend-aware Jaccard similarity of a :class:`repro.graphs.Graph`.
+
+    Resolves the active compute backend for the graph's adjacency: the sparse
+    backend (or ``auto`` on a large low-density graph) computes the similarity
+    from the graph's cached CSR view and keeps it in CSR form, everything else
+    takes the dense reference path.  This is the single entry point the
+    evaluation pipeline uses, so ``--backend`` switches the whole
+    similarity/bias path along with propagation.
+    """
+    from repro.sparse.backend import resolve_backend
+
+    if resolve_backend(graph.adjacency).name == "sparse":
+        return jaccard_similarity(graph.csr())
+    return jaccard_similarity(graph.adjacency)
 
 
 def cosine_feature_similarity(features: np.ndarray, eps: float = 1e-12) -> np.ndarray:

@@ -107,12 +107,37 @@ def pairwise_posterior_distance(
 
 
 def distance_matrix(
-    posteriors: np.ndarray, metric: str = "cosine"
+    posteriors: np.ndarray, metric: str = "cosine", block_size: int = 1024
 ) -> np.ndarray:
-    """Full ``(N, N)`` pairwise distance matrix (used by small examples only)."""
+    """Full ``(N, N)`` pairwise distance matrix (used by small examples only).
+
+    The attack pipeline never calls this — candidate pairs are scored
+    directly through :func:`pairwise_posterior_distance`, which touches only
+    the sampled pairs.  For callers that do want the full matrix, rows are
+    produced in blocks of ``block_size`` sources against all targets, so peak
+    scratch memory is ``O(block_size · N · C)`` instead of the ``(N², 2)``
+    all-pairs index expansion this function used to materialise.
+    """
     posteriors = np.asarray(posteriors, dtype=np.float64)
+    if posteriors.ndim != 2:
+        raise ValueError("posteriors must be 2-dimensional")
+    if metric not in DISTANCE_METRICS:
+        raise KeyError(
+            f"unknown distance metric {metric!r}; available: {', '.join(sorted(DISTANCE_METRICS))}"
+        )
+    if block_size <= 0:
+        raise ValueError("block_size must be positive")
+    function = DISTANCE_METRICS[metric]
     n = posteriors.shape[0]
-    rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
-    pairs = np.stack([rows.ravel(), cols.ravel()], axis=1)
-    values = pairwise_posterior_distance(posteriors, pairs, metric)
-    return values.reshape(n, n)
+    out = np.empty((n, n), dtype=np.float64)
+    targets = np.arange(n, dtype=np.int64)
+    for start in range(0, n, block_size):
+        stop = min(start + block_size, n)
+        block = stop - start
+        # Row-aligned (block · N, C) views: each source repeated against all
+        # targets; identical arithmetic to the pair-based path.
+        sources = np.repeat(np.arange(start, stop, dtype=np.int64), n)
+        out[start:stop] = function(
+            posteriors[sources], posteriors[np.tile(targets, block)]
+        ).reshape(block, n)
+    return out

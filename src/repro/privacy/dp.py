@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.graphs.revision import tag_adjacency
 from repro.utils.rng import RandomState, ensure_rng
 from repro.utils.validation import check_adjacency, check_positive
 
@@ -43,6 +44,7 @@ def edge_rand(
     noisy = np.logical_xor(upper, flips)
     result = (noisy | noisy.T).astype(np.float64)
     np.fill_diagonal(result, 0.0)
+    tag_adjacency(result, owned=True)
     return result
 
 
@@ -77,6 +79,7 @@ def lap_graph(
     keep = np.triu(noisy >= threshold, k=1)
     result = (keep | keep.T).astype(np.float64)
     np.fill_diagonal(result, 0.0)
+    tag_adjacency(result, owned=True)
     return result
 
 

@@ -10,7 +10,10 @@ table/figure pipeline runs unmodified on either backend.
 
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import (
+    binary_neighborhoods_csr,
     gcn_norm_csr,
+    jaccard_pairs_csr,
+    jaccard_similarity_csr,
     left_norm_csr,
     mean_aggregation_csr,
     laplacian_csr,
@@ -18,6 +21,12 @@ from repro.sparse.ops import (
     shortest_path_hops_csr,
 )
 from repro.sparse.autodiff import spmm, spmv
+from repro.sparse.opcache import (
+    OperatorCache,
+    OperatorCacheStats,
+    active_operator_cache,
+    use_operator_cache,
+)
 from repro.sparse.backend import (
     AUTO_MAX_DENSITY,
     AUTO_MIN_NODES,
@@ -44,8 +53,15 @@ __all__ = [
     "laplacian_csr",
     "normalized_laplacian_csr",
     "shortest_path_hops_csr",
+    "binary_neighborhoods_csr",
+    "jaccard_similarity_csr",
+    "jaccard_pairs_csr",
     "spmm",
     "spmv",
+    "OperatorCache",
+    "OperatorCacheStats",
+    "active_operator_cache",
+    "use_operator_cache",
     "AUTO_MAX_DENSITY",
     "AUTO_MIN_NODES",
     "ComputeBackend",

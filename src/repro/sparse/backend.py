@@ -289,9 +289,27 @@ def build_propagation(
     """Build a propagation operator for ``adjacency`` via backend dispatch.
 
     This is the single entry point the GNN models use; ``kind`` is one of
-    :data:`PROPAGATION_KINDS`.
+    :data:`PROPAGATION_KINDS`.  When an operator cache is active
+    (:mod:`repro.sparse.opcache`) and ``adjacency`` carries a revision tag,
+    the operator is memoised under ``(revision, kind, backend)`` — repeated
+    forwards over an unchanged structure (every training epoch, every PPFR
+    fine-tune step) reuse it instead of renormalising.  Untagged arrays are
+    built fresh every time, so e.g. GraphSAGE's per-epoch sampled
+    neighbourhoods are never cached.
     """
-    return resolve_backend(adjacency, backend).build_operator(adjacency, kind)
+    from repro.graphs.revision import adjacency_revision
+    from repro.sparse.opcache import active_operator_cache
+
+    resolved = resolve_backend(adjacency, backend)
+    cache = active_operator_cache()
+    if cache is not None:
+        revision = adjacency_revision(adjacency)
+        if revision is not None:
+            return cache.get_or_build(
+                (revision, kind, resolved.name),
+                lambda: resolved.build_operator(adjacency, kind),
+            )
+    return resolved.build_operator(adjacency, kind)
 
 
 register_backend("dense", DenseBackend())

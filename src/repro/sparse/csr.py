@@ -62,7 +62,9 @@ def _coo_to_csr(
 class CSRMatrix:
     """An immutable CSR sparse matrix over ``float64`` values."""
 
-    __slots__ = ("indptr", "indices", "data", "shape", "_transpose_cache")
+    # __weakref__ keeps instances weak-referenceable (the graph revision
+    # registry tracks tagged adjacencies without extending their lifetime).
+    __slots__ = ("indptr", "indices", "data", "shape", "_transpose_cache", "__weakref__")
 
     def __init__(
         self,

@@ -1,0 +1,137 @@
+"""Memoisation of propagation operators keyed by graph revision.
+
+Building a propagation operator — GCN symmetric normalisation, left
+normalisation, GraphSAGE neighbourhood means — costs O(N²) on the dense path
+and O(m) on CSR, and the training loop rebuilds it on *every* forward pass:
+each vanilla epoch, each PPFR fine-tune step, each per-epoch evaluation.
+This module adds a dynamically-scoped cache in front of
+:func:`repro.sparse.backend.build_propagation`:
+
+* entries are keyed by ``(revision, kind, backend_name)`` where ``revision``
+  comes from the graph revision registry (:mod:`repro.graphs.revision`) — an
+  adjacency without a revision tag is *never* cached, and any mutation bumps
+  the revision, so a stale normalisation cannot be served;
+* the active cache is a :class:`contextvars.ContextVar`, mirroring the
+  backend selection and autodiff mode flags, so parallel grid executors can
+  scope caches per cell without interference;
+* storage is a small thread-safe LRU — dense operators are O(N²) arrays, so
+  the cache bounds its footprint instead of growing with the experiment grid.
+
+Operators are built deterministically from the adjacency, so enabling the
+cache changes wall-clock only, never results (the equivalence is asserted by
+the executor-determinism tests).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional, Tuple
+
+__all__ = [
+    "OperatorCacheStats",
+    "OperatorCache",
+    "active_operator_cache",
+    "use_operator_cache",
+]
+
+DEFAULT_MAXSIZE = 32
+"""Default LRU capacity (operators, not bytes)."""
+
+CacheKey = Tuple[int, str, str]
+
+
+@dataclass(frozen=True)
+class OperatorCacheStats:
+    """Hit/miss counters of an :class:`OperatorCache`."""
+
+    hits: int
+    misses: int
+    size: int
+    evictions: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class OperatorCache:
+    """Thread-safe LRU of propagation operators keyed by graph revision."""
+
+    def __init__(self, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get_or_build(self, key: CacheKey, builder: Callable[[], object]) -> object:
+        """Return the cached operator for ``key``, building it on a miss.
+
+        A concurrent miss on the same key may build twice; both builds are
+        deterministic and identical, and the last one wins — cheaper than a
+        per-key lock for operators that take milliseconds to build.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return self._entries[key]
+        value = builder()
+        with self._lock:
+            self._misses += 1
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+        return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> OperatorCacheStats:
+        with self._lock:
+            return OperatorCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                evictions=self._evictions,
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+_ACTIVE_CACHE: contextvars.ContextVar[Optional[OperatorCache]] = contextvars.ContextVar(
+    "repro_operator_cache", default=None
+)
+
+
+def active_operator_cache() -> Optional[OperatorCache]:
+    """The operator cache of the current context (``None`` = caching off)."""
+    return _ACTIVE_CACHE.get()
+
+
+@contextlib.contextmanager
+def use_operator_cache(cache: Optional[OperatorCache]) -> Iterator[Optional[OperatorCache]]:
+    """Scope ``cache`` as the active operator cache (``None`` disables).
+
+    Passing an existing cache shares it; revision keys are process-unique so
+    cells running in parallel threads can share one cache safely.
+    """
+    token = _ACTIVE_CACHE.set(cache)
+    try:
+        yield cache
+    finally:
+        _ACTIVE_CACHE.reset(token)

@@ -23,6 +23,9 @@ __all__ = [
     "laplacian_csr",
     "normalized_laplacian_csr",
     "shortest_path_hops_csr",
+    "binary_neighborhoods_csr",
+    "jaccard_similarity_csr",
+    "jaccard_pairs_csr",
 ]
 
 INF_HOPS = -1
@@ -96,6 +99,115 @@ def normalized_laplacian_csr(weights: CSRMatrix, eps: float = 1e-12) -> CSRMatri
         np.concatenate([-data, np.ones(n)]),
         (n, n),
     )
+
+
+def binary_neighborhoods_csr(
+    adjacency: CSRMatrix, include_self_loops: bool = True
+) -> CSRMatrix:
+    """0/1 neighbourhood-membership matrix ``B`` (optionally with self-loops).
+
+    Mirrors the pre-processing of the dense Jaccard kernel: entries with a
+    positive stored value become 1, everything else is dropped, and with
+    ``include_self_loops`` every node joins its own neighbourhood.
+    """
+    _require_square(adjacency, "adjacency")
+    n = adjacency.shape[0]
+    rows, cols, data = adjacency.to_coo()
+    positive = data > 0
+    rows, cols = rows[positive], cols[positive]
+    if include_self_loops:
+        diag = np.arange(n, dtype=np.int64)
+        rows = np.concatenate([rows, diag])
+        cols = np.concatenate([cols, diag])
+    binary = CSRMatrix.from_coo(rows, cols, np.ones(rows.size), (n, n))
+    # from_coo sums duplicates (e.g. an existing self-loop plus the injected
+    # one); clip back to membership indicators.
+    return CSRMatrix(
+        binary.indptr, binary.indices, np.minimum(binary.data, 1.0), binary.shape
+    )
+
+
+def jaccard_similarity_csr(
+    adjacency: CSRMatrix, include_self_loops: bool = True
+) -> CSRMatrix:
+    """Jaccard similarity ``S_ij = |N(i)∩N(j)| / |N(i)∪N(j)|`` in CSR form.
+
+    The CSR counterpart of :func:`repro.graphs.similarity.jaccard_similarity`:
+    instead of the dense ``B Bᵀ`` product, intersection counts are accumulated
+    from neighbour-list expansions — entry ``(i, k)`` of the membership matrix
+    ``B`` contributes row ``k`` of ``B`` to row ``i`` — which touches
+    ``Σ_k deg(k)²`` index pairs instead of N² cells.  Counts and union sizes
+    are small exact integers, so the stored values are *bitwise* equal to the
+    dense kernel's nonzero entries.
+
+    Returns the ``(N, N)`` similarity with a zero (absent) diagonal; only
+    pairs at most two hops apart are stored (Lemma V.1 support).
+    """
+    binary = binary_neighborhoods_csr(adjacency, include_self_loops)
+    n = binary.shape[0]
+    sizes = binary.row_sums()
+    indptr, indices = binary.indptr, binary.indices
+
+    # Expand: for every stored entry (i, k), emit (i, j) for j in N(k).
+    entry_rows = binary.row_indices()
+    entry_cols = indices
+    counts = indptr[entry_cols + 1] - indptr[entry_cols]
+    total = int(counts.sum())
+    if total == 0:
+        return CSRMatrix.from_coo(
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.float64),
+            (n, n),
+        )
+    out_rows = np.repeat(entry_rows, counts)
+    starts = indptr[entry_cols]
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
+    out_cols = indices[flat]
+
+    intersection = CSRMatrix.from_coo(
+        out_rows, out_cols, np.ones(total), (n, n)
+    )
+    rows, cols, inter = intersection.to_coo()
+    off_diagonal = rows != cols
+    rows, cols, inter = rows[off_diagonal], cols[off_diagonal], inter[off_diagonal]
+    union = sizes[rows] + sizes[cols] - inter
+    return CSRMatrix.from_coo(rows, cols, inter / union, (n, n))
+
+
+def jaccard_pairs_csr(
+    adjacency: CSRMatrix,
+    pairs: np.ndarray,
+    include_self_loops: bool = True,
+) -> np.ndarray:
+    """Jaccard similarity of explicit candidate pairs via neighbour intersections.
+
+    The pair-restricted counterpart of :func:`jaccard_similarity_csr` used by
+    attack feature extraction: only the ``(M, 2)`` candidate pairs are scored,
+    at O(deg) per pair, never materialising an ``(N, N)`` matrix.
+    """
+    binary = binary_neighborhoods_csr(adjacency, include_self_loops)
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return np.zeros(0)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError("pairs must have shape (M, 2)")
+    if pairs.min() < 0 or pairs.max() >= binary.shape[0]:
+        raise ValueError("pair indices out of range")
+    indptr, indices = binary.indptr, binary.indices
+    sizes = binary.row_sums()
+    values = np.zeros(pairs.shape[0], dtype=np.float64)
+    for position, (i, j) in enumerate(pairs):
+        if i == j:  # the similarity matrix has a zero diagonal by convention
+            continue
+        left = indices[indptr[i] : indptr[i + 1]]
+        right = indices[indptr[j] : indptr[j + 1]]
+        inter = np.intersect1d(left, right, assume_unique=True).size
+        union = sizes[i] + sizes[j] - inter
+        if union > 0:
+            values[position] = inter / union
+    return values
 
 
 def _gather_neighbors(

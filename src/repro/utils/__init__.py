@@ -9,12 +9,16 @@ from repro.utils.validation import (
     check_positive,
     check_in_range,
 )
+from repro.utils.cache import ArtifactCache, CacheStats, stable_hash
 from repro.utils.timing import Timer
 
 __all__ = [
     "RandomState",
     "ensure_rng",
     "spawn_children",
+    "ArtifactCache",
+    "CacheStats",
+    "stable_hash",
     "check_adjacency",
     "check_features",
     "check_labels",

@@ -1,0 +1,169 @@
+"""Content-keyed artifact cache shared by the experiment grid engine.
+
+The experiment grid repeats work by construction: Table III and Figure 4
+train the exact same (dataset, model, method, seed) cells, Figures 5/7 are
+projections of Table IV, and a repeated CLI run re-trains everything.  The
+:class:`ArtifactCache` deduplicates that work: artifacts (trained
+``MethodRun``/evaluation pairs, finished cell payloads) are stored under
+stable content-derived string keys, so identical specs resolve to the same
+entry no matter which experiment — or which worker thread — asks first.
+
+Every cached artifact is produced by a deterministic factory, so a cache hit
+returns bitwise-identical results to a recomputation; the executor
+determinism tests assert exactly this.
+
+Thread safety: lookups take a single lock; misses build under a *per-key*
+lock so that two workers racing on the same cell train it once, while
+builders for different keys run fully in parallel.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Callable, Optional, TypeVar
+
+__all__ = ["CacheStats", "ArtifactCache", "stable_hash"]
+
+T = TypeVar("T")
+
+
+def _canonical(value):
+    """Reduce ``value`` to JSON-serialisable primitives, deterministically."""
+    if is_dataclass(value) and not isinstance(value, type):
+        payload = {f.name: _canonical(getattr(value, f.name)) for f in fields(value)}
+        payload["__dataclass__"] = type(value).__name__
+        return payload
+    if isinstance(value, dict):
+        return {str(key): _canonical(item) for key, item in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and callable(value.item):  # NumPy scalars
+        return value.item()
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for hashing")
+
+
+def stable_hash(value) -> str:
+    """Deterministic hex digest of a nested primitive/dataclass structure.
+
+    Used to derive artifact keys from cell specs: equal content gives equal
+    keys across processes and sessions (unlike ``hash()``, which is salted).
+    """
+    canonical = json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:24]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of an :class:`ArtifactCache`."""
+
+    hits: int
+    misses: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return f"{self.hits} hits / {self.misses} misses ({self.size} entries)"
+
+
+class ArtifactCache:
+    """Thread-safe content-keyed store with per-key build deduplication."""
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ValueError("maxsize must be positive or None")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._key_locks: dict = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: str, default=None):
+        """Non-counting lookup (used for peeking; does not touch stats)."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return self._entries[key]
+        return default
+
+    def contains(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: str, value) -> None:
+        """Store ``value`` under ``key`` (counts as a miss being filled)."""
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            self._evict_locked()
+
+    def get_or_create(self, key: str, factory: Callable[[], T]) -> T:
+        """Return the artifact under ``key``, building it once on a miss.
+
+        Concurrent requests for the same key block on a per-key lock so the
+        factory runs exactly once; requests for different keys build in
+        parallel.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            key_lock = self._key_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._entries:
+                    self._hits += 1
+                    self._entries.move_to_end(key)
+                    return self._entries[key]
+            try:
+                value = factory()
+                with self._lock:
+                    self._misses += 1
+                    self._entries[key] = value
+                    self._entries.move_to_end(key)
+                    self._evict_locked()
+            finally:
+                # Always drop the per-key lock — a raising factory must not
+                # leak lock entries for every distinct failing key.
+                with self._lock:
+                    self._key_locks.pop(key, None)
+        return value
+
+    def record_hit(self, count: int = 1) -> None:
+        """Count hits observed by callers using :meth:`get`/:meth:`contains`."""
+        with self._lock:
+            self._hits += count
+
+    def record_miss(self, count: int = 1) -> None:
+        """Count misses filled by callers using :meth:`put`."""
+        with self._lock:
+            self._misses += count
+
+    def _evict_locked(self) -> None:
+        if self.maxsize is not None:
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -6,7 +6,13 @@ from hypothesis import given, settings, strategies as st
 
 from repro.graphs.khop import shortest_path_hops
 from repro.graphs.laplacian import gcn_normalization, laplacian, normalized_laplacian
-from repro.graphs.similarity import cosine_feature_similarity, jaccard_similarity, top_k_sparsify
+from repro.graphs.similarity import (
+    cosine_feature_similarity,
+    jaccard_for_pairs,
+    jaccard_similarity,
+    top_k_sparsify,
+)
+from repro.sparse.csr import CSRMatrix
 
 
 def random_adjacency(num_nodes, edge_probability, seed):
@@ -59,6 +65,68 @@ class TestJaccard:
         similarity = jaccard_similarity(adjacency)
         assert np.allclose(similarity, similarity.T)
         assert similarity.min() >= 0.0 and similarity.max() <= 1.0
+
+
+class TestJaccardCSR:
+    """The CSR neighbour-intersection kernel must match the dense reference."""
+
+    @pytest.mark.parametrize("include_self_loops", [True, False])
+    @pytest.mark.parametrize(
+        "num_nodes,density", [(1, 0.0), (6, 0.0), (20, 0.15), (30, 0.5)]
+    )
+    def test_bitwise_equal_to_dense(self, num_nodes, density, include_self_loops):
+        adjacency = random_adjacency(num_nodes, density, seed=num_nodes)
+        dense = jaccard_similarity(adjacency, include_self_loops=include_self_loops)
+        sparse = jaccard_similarity(
+            CSRMatrix.from_dense(adjacency), include_self_loops=include_self_loops
+        )
+        assert isinstance(sparse, CSRMatrix)
+        # Intersection and union counts are exact small integers on both
+        # paths, so the agreement is exact, not approximate.
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+
+    def test_sparse_support_is_two_hop(self):
+        """Lemma V.1 on the CSR path: entries exist iff pairs are ≤ 2 hops apart."""
+        adjacency = random_adjacency(25, 0.12, seed=2)
+        sparse = jaccard_similarity(CSRMatrix.from_dense(adjacency))
+        hops = shortest_path_hops(adjacency)
+        support = sparse.to_dense() > 0
+        expected = (hops == 1) | (hops == 2)
+        np.testing.assert_array_equal(support, expected)
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(min_value=0, max_value=100))
+    @settings(max_examples=25, deadline=None)
+    def test_property_matches_dense(self, num_nodes, seed):
+        adjacency = random_adjacency(num_nodes, 0.3, seed)
+        dense = jaccard_similarity(adjacency)
+        sparse = jaccard_similarity(CSRMatrix.from_dense(adjacency))
+        np.testing.assert_array_equal(sparse.to_dense(), dense)
+
+
+class TestJaccardForPairs:
+    def test_matches_full_matrix_entries(self):
+        adjacency = random_adjacency(18, 0.25, seed=4)
+        full = jaccard_similarity(adjacency)
+        rng = np.random.default_rng(0)
+        pairs = rng.integers(0, 18, size=(40, 2))
+        values = jaccard_for_pairs(adjacency, pairs)
+        np.testing.assert_array_equal(values, full[pairs[:, 0], pairs[:, 1]])
+
+    def test_accepts_csr_input_and_empty_pairs(self):
+        adjacency = random_adjacency(10, 0.3, seed=5)
+        csr = CSRMatrix.from_dense(adjacency)
+        assert jaccard_for_pairs(csr, np.empty((0, 2))).size == 0
+        pairs = np.array([[0, 1], [2, 9]])
+        np.testing.assert_array_equal(
+            jaccard_for_pairs(csr, pairs), jaccard_for_pairs(adjacency, pairs)
+        )
+
+    def test_rejects_bad_pairs(self):
+        adjacency = random_adjacency(5, 0.4, seed=6)
+        with pytest.raises(ValueError):
+            jaccard_for_pairs(adjacency, np.array([[0, 99]]))
+        with pytest.raises(ValueError):
+            jaccard_for_pairs(adjacency, np.array([0, 1, 2]))
 
 
 class TestCosineSimilarity:

@@ -63,6 +63,24 @@ class TestDistances:
         np.testing.assert_allclose(np.diag(matrix), 0.0, atol=1e-12)
         np.testing.assert_allclose(matrix, matrix.T, atol=1e-12)
 
+    def test_distance_matrix_blockwise_matches_pair_path(self):
+        """Row-blocked evaluation equals scoring every pair explicitly."""
+        rng = np.random.default_rng(2)
+        posteriors = rng.dirichlet(np.ones(4), size=23)
+        n = posteriors.shape[0]
+        rows, cols = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        pairs = np.stack([rows.ravel(), cols.ravel()], axis=1)
+        for metric in DISTANCE_METRICS:
+            blocked = distance_matrix(posteriors, metric, block_size=7)
+            reference = pairwise_posterior_distance(posteriors, pairs, metric)
+            np.testing.assert_array_equal(blocked, reference.reshape(n, n))
+
+    def test_distance_matrix_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            distance_matrix(np.zeros((3, 2)), "cosine", block_size=0)
+        with pytest.raises(KeyError):
+            distance_matrix(np.zeros((3, 2)), "hamming")
+
 
 class TestAUC:
     def test_perfect_separation(self):
