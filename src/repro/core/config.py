@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import ContextManager, Optional
+from dataclasses import dataclass, field, replace
+from typing import ContextManager, Optional, Tuple
 
 from repro.fairness.reweighting import FairnessReweightingConfig
 from repro.gnn.trainer import TrainConfig
@@ -115,7 +115,10 @@ class MethodSettings:
     Attributes
     ----------
     train:
-        Vanilla-training hyper-parameters shared by every method.
+        Vanilla-training hyper-parameters shared by every method.  Its
+        ``batch_size`` / ``fanouts`` fields switch the shared trainer to
+        neighbour-sampled mini-batches (see :meth:`with_batching`); methods
+        whose loss needs full-graph logits fall back transparently.
     fairness_weight:
         λ of the InFoRM regulariser used by the ``Reg`` / ``DPReg`` baselines.
     dp_epsilon:
@@ -148,3 +151,25 @@ class MethodSettings:
             raise ValueError("dp_epsilon must be positive")
         if self.dp_mechanism not in ("edge_rand", "lap_graph"):
             raise ValueError("dp_mechanism must be 'edge_rand' or 'lap_graph'")
+
+    def with_batching(
+        self,
+        batch_size: Optional[int],
+        fanouts: Optional[Tuple[Optional[int], ...]] = None,
+        batch_seed: int = 0,
+        eval_interval: int = 1,
+    ) -> "MethodSettings":
+        """A copy of these settings with mini-batch training fields applied.
+
+        ``batch_size=None`` returns to full-batch training.  The copy shares
+        everything else, so a full-batch and a mini-batch run differ only in
+        the training execution model.
+        """
+        train = replace(
+            self.train,
+            batch_size=batch_size,
+            fanouts=fanouts,
+            batch_seed=batch_seed,
+            eval_interval=eval_interval,
+        )
+        return replace(self, train=train)

@@ -18,13 +18,40 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import List, Optional
+from dataclasses import replace
+from typing import List, Optional, Tuple
 
 from repro.core.config import GRID_EXECUTORS
 from repro.experiments.grid import GridRunner
-from repro.experiments.presets import PRESETS
+from repro.experiments.presets import PRESETS, get_preset
 from repro.experiments.runner import EXPERIMENTS, run_experiment
 from repro.sparse.backend import available_backends
+
+
+def parse_fanouts(text: str) -> Tuple[Optional[int], ...]:
+    """Parse ``--fanouts`` values like ``"10,10"`` or ``"5,all"``.
+
+    Each comma-separated entry is a per-layer neighbour budget (input layer
+    first); ``all``/``full``/``-1`` mean exhaustive sampling at that layer.
+    """
+    entries: List[Optional[int]] = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            raise argparse.ArgumentTypeError("empty fanout entry")
+        if part in ("all", "full", "-1", "none"):
+            entries.append(None)
+            continue
+        try:
+            value = int(part)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(
+                f"invalid fanout {part!r}: expected an integer or 'all'"
+            ) from error
+        if value <= 0:
+            raise argparse.ArgumentTypeError("fanouts must be positive (or 'all')")
+        entries.append(value)
+    return tuple(entries)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -44,6 +71,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="size/budget preset (default: quick)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help=(
+            "switch method training to neighbour-sampled mini-batches of this "
+            "many seed nodes (default: full-batch training)"
+        ),
+    )
+    parser.add_argument(
+        "--fanouts",
+        type=parse_fanouts,
+        default=None,
+        help=(
+            "per-layer neighbour budgets for mini-batch training, input layer "
+            "first, e.g. '10,10' ('all' = exhaustive; requires --batch-size; "
+            "default: exhaustive at every layer)"
+        ),
+    )
+    parser.add_argument(
+        "--eval-interval",
+        type=int,
+        default=None,
+        help=(
+            "evaluate full-graph only every K training epochs (mini-batch "
+            "runs on large graphs stay N-independent between evaluations; "
+            "requires --batch-size; default: every epoch)"
+        ),
+    )
     parser.add_argument(
         "--backend",
         default="auto",
@@ -94,8 +150,35 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.batch_size is not None and args.batch_size <= 0:
+        parser.error("--batch-size must be positive")
+    if args.fanouts is not None and args.batch_size is None:
+        parser.error("--fanouts requires --batch-size")
+    if args.eval_interval is not None:
+        if args.batch_size is None:
+            parser.error("--eval-interval requires --batch-size")
+        if args.eval_interval <= 0:
+            parser.error("--eval-interval must be positive")
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    preset = get_preset(args.preset)
+    if args.batch_size is not None:
+        # A modified preset (rather than a side channel) so batched cells key
+        # separately in the artifact cache and in process workers.  The name
+        # suffix flows into every ExperimentResult's metadata and saved JSON,
+        # so batched numbers are never mistaken for full-batch reproductions.
+        fanout_tag = (
+            "" if args.fanouts is None
+            else "x" + ",".join("all" if f is None else str(f) for f in args.fanouts)
+        )
+        preset = replace(
+            preset,
+            name=f"{preset.name}-mb{args.batch_size}{fanout_tag}",
+            batch_size=args.batch_size,
+            fanouts=args.fanouts,
+            eval_interval=args.eval_interval if args.eval_interval is not None else 1,
+        )
     # One runner for the whole invocation: experiments share trained cells
     # (table3 and figure4 declare identical (gcn, vanilla/reg) grids), and
     # the runner applies --backend around every cell on every executor.
@@ -106,7 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=args.backend,
     )
     for name in names:
-        result = run_experiment(name, preset=args.preset, seed=args.seed, runner=runner)
+        result = run_experiment(name, preset=preset, seed=args.seed, runner=runner)
         print(result.formatted())
         print()
         if args.output:

@@ -11,7 +11,7 @@ reproduced at three sizes:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.config import MethodSettings, PPFRConfig
 from repro.fairness.reweighting import FairnessReweightingConfig
@@ -21,7 +21,14 @@ from repro.influence.functions import InfluenceConfig
 
 @dataclass(frozen=True)
 class ExperimentPreset:
-    """A bundle of sizes and budgets for one experiment run."""
+    """A bundle of sizes and budgets for one experiment run.
+
+    ``batch_size`` / ``fanouts`` (``None`` = full-batch training, the
+    default) switch every method training of the preset to neighbour-sampled
+    mini-batches — the CLI's ``--batch-size`` / ``--fanouts`` flags derive a
+    modified preset, so batched and full-batch runs key separately in the
+    artifact cache.
+    """
 
     name: str
     dataset_scale: float
@@ -36,6 +43,9 @@ class ExperimentPreset:
     fine_tune_fraction: float = 0.2
     cg_iterations: int = 20
     attack_seed: int = 0
+    batch_size: Optional[int] = None
+    fanouts: Optional[Tuple[Optional[int], ...]] = None
+    eval_interval: int = 1
 
     def method_settings(self, dataset: str, seed: int = 0) -> MethodSettings:
         """Build the :class:`MethodSettings` for one dataset under this preset.
@@ -48,7 +58,13 @@ class ExperimentPreset:
             influence=InfluenceConfig(cg_iterations=self.cg_iterations)
         )
         return MethodSettings(
-            train=TrainConfig(epochs=self.epochs, patience=None),
+            train=TrainConfig(
+                epochs=self.epochs,
+                patience=None,
+                batch_size=self.batch_size,
+                fanouts=self.fanouts,
+                eval_interval=self.eval_interval,
+            ),
             fairness_weight=self.fairness_weight,
             dp_epsilon=self.dp_epsilon,
             dp_mechanism=mechanism,

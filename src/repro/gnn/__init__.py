@@ -15,6 +15,7 @@ from repro.gnn.normalization import (
     mean_aggregation_matrix,
     row_normalize_features,
 )
+from repro.gnn.sampling import BatchSpec, NeighborSampler, SampledBlock, block_propagation
 from repro.gnn.trainer import Trainer, TrainConfig, TrainResult
 from repro.gnn.evaluation import evaluate_accuracy, predict_probabilities, predict_labels
 
@@ -38,4 +39,8 @@ __all__ = [
     "evaluate_accuracy",
     "predict_probabilities",
     "predict_labels",
+    "BatchSpec",
+    "NeighborSampler",
+    "SampledBlock",
+    "block_propagation",
 ]

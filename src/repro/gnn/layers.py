@@ -162,9 +162,20 @@ class SAGEConv(Module):
         else:
             self.bias = None
 
-    def forward(self, x: Tensor, neighbor_mean: Propagation) -> Tensor:
+    def forward(
+        self,
+        x: Tensor,
+        neighbor_mean: Propagation,
+        x_dst: Optional[Tensor] = None,
+    ) -> Tensor:
+        """Apply the layer; ``x_dst`` supplies the self-term input when the
+        aggregation is a rectangular mini-batch block (destination rows are a
+        strict subset of the source rows ``x``).  Full-batch callers leave it
+        ``None`` and the self term uses ``x`` itself.
+        """
         aggregated = neighbor_mean.matmul(x)
-        out = x.matmul(self.weight_self) + aggregated.matmul(self.weight_neighbor)
+        self_input = x if x_dst is None else x_dst
+        out = self_input.matmul(self.weight_self) + aggregated.matmul(self.weight_neighbor)
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -18,7 +18,7 @@ inherently dense and always takes the dense path.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
@@ -47,19 +47,45 @@ class GNNModel(Module):
     def forward(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> Tensor:
         raise NotImplementedError  # pragma: no cover - abstract
 
-    def predict_logits(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
-        """Inference-mode logits as a NumPy array."""
+    @property
+    def message_passing_layers(self) -> Optional[int]:
+        """Number of sampled-block layers, or ``None`` when the model has no
+        sampled forward path (GAT's all-pairs attention cannot be restricted
+        to a bipartite block)."""
+        return None
+
+    def forward_blocks(self, features: ArrayOrTensor, blocks: Sequence) -> Tensor:
+        """Mini-batch forward over sampled blocks (input layer first).
+
+        ``blocks`` come from :class:`repro.gnn.sampling.NeighborSampler`;
+        the returned logits have one row per seed node, aligned with
+        ``blocks[-1].dst_nodes``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no neighbour-sampled forward path"
+        )
+
+    def _inference_logits(self, forward: Callable[[], Tensor]) -> np.ndarray:
+        """Run ``forward`` in eval mode off the tape, restoring train mode."""
         was_training = self.training
         self.eval()
         try:
             from repro.nn.tensor import no_grad
 
             with no_grad():
-                logits = self.forward(features, adjacency)
+                logits = forward()
         finally:
             if was_training:
                 self.train()
         return logits.data.copy()
+
+    def predict_logits_blocks(self, features: ArrayOrTensor, blocks: Sequence) -> np.ndarray:
+        """Inference-mode sampled-forward logits as a NumPy array."""
+        return self._inference_logits(lambda: self.forward_blocks(features, blocks))
+
+    def predict_logits(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
+        """Inference-mode logits as a NumPy array."""
+        return self._inference_logits(lambda: self.forward(features, adjacency))
 
     def predict_proba(self, features: ArrayOrTensor, adjacency: AdjacencyLike) -> np.ndarray:
         """Inference-mode softmax probabilities (what the attacker queries)."""
@@ -106,6 +132,24 @@ class GCN(GNNModel):
         for index in range(self.num_layers):
             layer: GCNConv = getattr(self, f"conv{index}")
             x = layer(x, propagation)
+            if index < self.num_layers - 1:
+                x = F.relu(x)
+                x = self.dropout(x)
+        return x
+
+    @property
+    def message_passing_layers(self) -> int:
+        return self.num_layers
+
+    def forward_blocks(self, features: ArrayOrTensor, blocks: Sequence) -> Tensor:
+        if len(blocks) != self.num_layers:
+            raise ValueError(
+                f"expected {self.num_layers} blocks, got {len(blocks)}"
+            )
+        x = _as_tensor(features)[blocks[0].src_nodes]
+        for index, block in enumerate(blocks):
+            layer: GCNConv = getattr(self, f"conv{index}")
+            x = layer(x, block.operator("gcn"))
             if index < self.num_layers - 1:
                 x = F.relu(x)
                 x = self.dropout(x)
@@ -237,6 +281,33 @@ class GraphSAGE(GNNModel):
         x = F.normalize_rows(x)
         x = self.dropout(x)
         return self.conv1(x, aggregation)
+
+    @property
+    def message_passing_layers(self) -> int:
+        return 2
+
+    def forward_blocks(self, features: ArrayOrTensor, blocks: Sequence) -> Tensor:
+        """Sampled mini-batch forward.
+
+        The block fanouts replace the model's own per-epoch ``num_samples``
+        subsampling: neighbour selection already happened when the blocks
+        were drawn, so the aggregation here is the mean over the block rows.
+        """
+        if len(blocks) != 2:
+            raise ValueError(f"expected 2 blocks, got {len(blocks)}")
+        x = _as_tensor(features)[blocks[0].src_nodes]
+        x = self.conv0(
+            x, blocks[0].operator("mean_noself"), x_dst=x[: blocks[0].num_dst]
+        )
+        x = F.relu(x)
+        # Sampled blocks routinely produce exactly-zero post-ReLU rows, whose
+        # gradient the plain normalisation cannot handle (see
+        # normalize_rows_stable).
+        x = F.normalize_rows_stable(x)
+        x = self.dropout(x)
+        return self.conv1(
+            x, blocks[1].operator("mean_noself"), x_dst=x[: blocks[1].num_dst]
+        )
 
 
 ModelFactory = Callable[..., GNNModel]

@@ -1,0 +1,381 @@
+"""Neighbour-sampled mini-batch training on CSR structure.
+
+Full-batch training cost scales with the whole graph: every epoch runs one
+forward/backward over all ``N`` nodes no matter how many of them carry
+labels.  This module adds the GraphSAGE-style alternative — seed-node
+mini-batches with per-layer neighbour sampling — so the per-step cost is
+bounded by ``batch_size · Π fanouts`` instead of ``N``:
+
+* :class:`NeighborSampler` — a *seeded* sampler over CSR adjacency.  All
+  randomness is derived statelessly from ``(seed, epoch, batch_index)``, so
+  the batch schedule and every sampled block are identical no matter which
+  executor (serial / thread / process) or worker ordering produced them —
+  the same determinism contract the experiment grid engine gives.
+* :class:`SampledBlock` — one layer's batch-local bipartite structure: a
+  ``(num_dst, num_src)`` CSR block with nodes relabelled to block-local ids
+  (destination nodes are a prefix of the source nodes, so layers chain and
+  the SAGE self-term is ``x[:num_dst]``), plus the global degrees needed to
+  normalise it.
+* :class:`BatchSpec` — the declarative description of a mini-batch regime
+  (batch size, per-layer fanouts, seed); ``fanout=None`` means *exhaustive*
+  (take every neighbour), in which case a single batch covering a node set
+  reproduces the full-batch forward on those nodes exactly.
+
+Normalisation of sampled blocks follows the conventions that make the
+exhaustive mode *equal* to the full-batch operators (asserted to 1e-8 by
+the equivalence tests):
+
+* ``gcn`` / ``left`` — per-edge weights use the **global** degrees
+  ``d̃ = deg + 1`` (historical-degree convention: sampled edges keep their
+  full-graph spectral weight);
+* ``mean`` / ``mean_noself`` — rows are averaged over the **sampled**
+  neighbourhood (the unbiased subsample mean; equals the full mean when
+  sampling is exhaustive).
+
+Blocks are plain batch-local structures: they are never tagged with a graph
+revision and never routed through :func:`repro.sparse.backend.build_propagation`,
+so they cannot pollute (or be served from) the full-graph propagation
+operator cache — the opcache regression tests assert this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sparse.backend import DenseOperator, SparseOperator, resolve_backend
+from repro.sparse.csr import CSRMatrix
+from repro.utils.validation import check_adjacency
+
+__all__ = [
+    "BatchSpec",
+    "SampledBlock",
+    "NeighborSampler",
+    "block_propagation",
+]
+
+AdjacencyLike = Union[np.ndarray, CSRMatrix]
+
+_SCHEDULE_STREAM = 0
+_BLOCK_STREAM = 1
+
+_BLOCK_KINDS = ("gcn", "left", "mean", "mean_noself")
+
+
+@dataclass(frozen=True)
+class BatchSpec:
+    """Declarative description of a mini-batch training regime.
+
+    Attributes
+    ----------
+    batch_size:
+        Number of seed (training) nodes per batch.
+    fanouts:
+        Per-layer neighbour budgets, *input layer first* (one entry per
+        message-passing layer).  An entry of ``None`` samples exhaustively
+        at that layer; ``fanouts=None`` is exhaustive everywhere.
+    seed:
+        Root seed of the sampler; schedules and blocks are pure functions of
+        ``(seed, epoch, batch_index)``.
+    shuffle:
+        Shuffle the seed nodes every epoch (seeded, deterministic).
+    drop_last:
+        Drop a trailing batch smaller than ``batch_size``.
+    """
+
+    batch_size: int
+    fanouts: Optional[Tuple[Optional[int], ...]] = None
+    seed: int = 0
+    shuffle: bool = True
+    drop_last: bool = False
+
+    def __post_init__(self) -> None:
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if self.fanouts is not None:
+            for fanout in self.fanouts:
+                if fanout is not None and fanout <= 0:
+                    raise ValueError("fanouts must be positive or None (exhaustive)")
+        if self.seed < 0:
+            raise ValueError("seed must be non-negative")
+
+    def layer_fanouts(self, num_layers: int) -> Tuple[Optional[int], ...]:
+        """Resolve to one fanout per layer (``None`` → exhaustive everywhere)."""
+        if self.fanouts is None:
+            return (None,) * num_layers
+        if len(self.fanouts) != num_layers:
+            raise ValueError(
+                f"fanouts has {len(self.fanouts)} entries but the model has "
+                f"{num_layers} message-passing layers"
+            )
+        return tuple(self.fanouts)
+
+
+@dataclass
+class SampledBlock:
+    """One layer's batch-local bipartite graph block.
+
+    ``adjacency`` is a ``(num_dst, num_src)`` CSR over block-local ids whose
+    row ``i`` holds the *sampled* neighbours of global node ``dst_nodes[i]``
+    with their original edge weights; self-loops are not stored (the
+    propagation builders add them where the kind requires).  ``dst_nodes``
+    is always a prefix of ``src_nodes``, so consecutive blocks chain
+    (``blocks[l].src_nodes is blocks[l+1]``'s input rows) and the SAGE
+    self-term is a plain ``x[:num_dst]`` slice.  ``src_degrees`` carries the
+    full-graph self-loop-augmented degrees ``d̃ = deg + 1`` of the source
+    nodes (dst degrees are its prefix), which the ``gcn``/``left``
+    normalisations need.
+    """
+
+    dst_nodes: np.ndarray
+    src_nodes: np.ndarray
+    adjacency: CSRMatrix
+    src_degrees: np.ndarray
+
+    @property
+    def num_dst(self) -> int:
+        return int(self.dst_nodes.size)
+
+    @property
+    def num_src(self) -> int:
+        return int(self.src_nodes.size)
+
+    def propagation(self, kind: str) -> CSRMatrix:
+        """The normalised ``(num_dst, num_src)`` propagation block for ``kind``."""
+        return block_propagation(self, kind)
+
+    def operator(self, kind: str):
+        """Backend-wrapped propagation operator for this block.
+
+        Honours the ambient compute-backend selection: the dense backend gets
+        a :class:`DenseOperator` over the densified block, everything else
+        (sparse, and ``auto`` — the block is already CSR) applies the block
+        with the autodiff ``spmm``.  Blocks bypass
+        :func:`~repro.sparse.backend.build_propagation` entirely, so the
+        full-graph propagation-operator cache never sees batch-local
+        structure.
+        """
+        matrix = self.propagation(kind)
+        if resolve_backend(self.adjacency).name == "dense":
+            return DenseOperator(matrix.to_dense())
+        return SparseOperator(matrix)
+
+    def fingerprint(self) -> bytes:
+        """Byte-exact content of the block (determinism tests)."""
+        parts = [
+            self.dst_nodes.tobytes(),
+            self.src_nodes.tobytes(),
+            self.adjacency.indptr.tobytes(),
+            self.adjacency.indices.tobytes(),
+            self.adjacency.data.tobytes(),
+            self.src_degrees.tobytes(),
+        ]
+        return b"|".join(parts)
+
+
+def _with_self_loops(block: SampledBlock) -> CSRMatrix:
+    """The block adjacency plus unit self-loop entries for every dst node."""
+    adjacency = block.adjacency
+    num_dst = block.num_dst
+    rows = np.repeat(np.arange(num_dst, dtype=np.int64), np.diff(adjacency.indptr))
+    diag = np.arange(num_dst, dtype=np.int64)
+    return CSRMatrix.from_coo(
+        np.concatenate([rows, diag]),
+        # dst nodes are a prefix of src nodes: local self column of dst i is i
+        np.concatenate([adjacency.indices, diag]),
+        np.concatenate([adjacency.data, np.ones(num_dst)]),
+        adjacency.shape,
+    )
+
+
+def block_propagation(block: SampledBlock, kind: str) -> CSRMatrix:
+    """Build the normalised propagation matrix of a sampled block.
+
+    Mirrors the full-graph kernels of :mod:`repro.sparse.ops` restricted to
+    the block, with the sampling conventions documented in the module
+    docstring.  With exhaustive sampling every weight equals the
+    corresponding entry of the full-graph operator.
+    """
+    if kind not in _BLOCK_KINDS:
+        raise ValueError(
+            f"unknown propagation kind {kind!r}; expected one of {_BLOCK_KINDS}"
+        )
+    degrees = block.src_degrees
+    if kind == "gcn":
+        base = _with_self_loops(block)
+        inv_sqrt = 1.0 / np.sqrt(degrees)
+        return base.scale_rows(inv_sqrt[: block.num_dst]).scale_cols(inv_sqrt)
+    if kind == "left":
+        base = _with_self_loops(block)
+        return base.scale_rows(1.0 / degrees[: block.num_dst])
+    base = _with_self_loops(block) if kind == "mean" else block.adjacency
+    sampled = base.row_sums()
+    inverse = np.zeros_like(sampled)
+    populated = sampled > 0
+    inverse[populated] = 1.0 / sampled[populated]
+    return base.scale_rows(inverse)
+
+
+class NeighborSampler:
+    """Seeded per-layer neighbour sampler over CSR adjacency.
+
+    The sampler is *stateless* across calls: the epoch schedule is a pure
+    function of ``(seed, epoch)`` and each batch's blocks of
+    ``(seed, epoch, batch_index)``, so any executor — or any re-run — draws
+    the same structures.  Construction computes the global
+    self-loop-augmented degrees once (O(m)); each sampled layer then costs
+    O(Σ deg(dst)) via the shared frontier gather of the row-slice kernel.
+    """
+
+    def __init__(self, adjacency: AdjacencyLike, seed: int = 0) -> None:
+        if isinstance(adjacency, CSRMatrix):
+            self.csr = adjacency
+        else:
+            self.csr = CSRMatrix.from_dense(check_adjacency(adjacency))
+        if self.csr.shape[0] != self.csr.shape[1]:
+            raise ValueError("adjacency must be square")
+        if seed < 0:
+            raise ValueError("seed must be non-negative")
+        self.seed = int(seed)
+        self.num_nodes = self.csr.shape[0]
+        # Full-graph d̃ = deg + 1 (the +1 is the unit self-loop of A + I).
+        self.degrees_with_self = self.csr.row_sums() + 1.0
+
+    # ------------------------------------------------------------------ #
+    # Batch schedule
+    # ------------------------------------------------------------------ #
+    def epoch_schedule(
+        self,
+        nodes: np.ndarray,
+        batch_size: int,
+        epoch: int = 0,
+        shuffle: bool = True,
+        drop_last: bool = False,
+    ) -> List[np.ndarray]:
+        """Seed-node batches of one epoch (deterministic in ``(seed, epoch)``)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if shuffle:
+            rng = np.random.default_rng([self.seed, _SCHEDULE_STREAM, epoch])
+            nodes = nodes[rng.permutation(nodes.size)]
+        batches = [
+            nodes[start : start + batch_size]
+            for start in range(0, nodes.size, batch_size)
+        ]
+        if drop_last and batches and batches[-1].size < batch_size:
+            batches.pop()
+        return batches
+
+    # ------------------------------------------------------------------ #
+    # Block sampling
+    # ------------------------------------------------------------------ #
+    def sample_layer(
+        self,
+        dst_nodes: np.ndarray,
+        fanout: Optional[int],
+        rng: Optional[np.random.Generator] = None,
+    ) -> SampledBlock:
+        """Sample one layer's block for ``dst_nodes``.
+
+        ``fanout=None`` takes every neighbour (exhaustive: the block row *is*
+        the row slice of the global adjacency); otherwise each destination
+        node draws ``min(fanout, degree)`` neighbours without replacement
+        from ``rng``.  Destination nodes always appear first in
+        ``src_nodes`` (self-loop / self-feature access), followed by the
+        newly reached neighbours in ascending global id.
+        """
+        dst = np.asarray(dst_nodes, dtype=np.int64)
+        if dst.size and (dst.min() < 0 or dst.max() >= self.num_nodes):
+            raise ValueError("destination node index out of bounds")
+        if np.unique(dst).size != dst.size:
+            # A duplicated destination would appear twice in the source set,
+            # making the global→local relabelling ambiguous.
+            raise ValueError("dst_nodes must not contain duplicates")
+        sliced = self.csr.slice_rows(dst)  # (D, N): full rows, global columns
+        if fanout is not None:
+            if fanout <= 0:
+                raise ValueError("fanout must be positive or None (exhaustive)")
+            if rng is None:
+                raise ValueError("sampled fanouts need a random generator")
+            sliced = _subsample_rows(sliced, fanout, rng)
+        counts = np.diff(sliced.indptr)
+        rows_local = np.repeat(np.arange(dst.size, dtype=np.int64), counts)
+        cols_global = sliced.indices
+        # Source set: dst prefix, then newly reached nodes in ascending id.
+        new_nodes = np.setdiff1d(np.unique(cols_global), dst)
+        src = np.concatenate([dst, new_nodes])
+        # Global → local relabelling via a sorted view of src, keeping the
+        # per-batch cost O(|block| log |src|) — independent of graph size.
+        order = np.argsort(src, kind="stable")
+        local_cols = order[np.searchsorted(src[order], cols_global)]
+        adjacency = CSRMatrix.from_coo(
+            rows_local, local_cols, sliced.data, (dst.size, src.size)
+        )
+        return SampledBlock(
+            dst_nodes=dst.copy(),
+            src_nodes=src,
+            adjacency=adjacency,
+            src_degrees=self.degrees_with_self[src],
+        )
+
+    def sample_blocks(
+        self,
+        seeds: np.ndarray,
+        fanouts: Sequence[Optional[int]],
+        epoch: int = 0,
+        batch_index: int = 0,
+    ) -> List[SampledBlock]:
+        """Sample the full layer stack for one seed batch, *input layer first*.
+
+        Layers are sampled output-to-input (the output layer's source set
+        becomes the next layer's destination set), then reversed so the
+        returned list aligns with the model's forward order.  The generator
+        is seeded from ``(seed, epoch, batch_index)``, never shared across
+        batches, so blocks are reproducible under any execution order.
+        """
+        rng = np.random.default_rng([self.seed, _BLOCK_STREAM, epoch, batch_index])
+        blocks: List[SampledBlock] = []
+        dst = np.asarray(seeds, dtype=np.int64)
+        for fanout in reversed(tuple(fanouts)):
+            block = self.sample_layer(dst, fanout, rng)
+            blocks.append(block)
+            dst = block.src_nodes
+        blocks.reverse()
+        return blocks
+
+
+def _subsample_rows(sliced: CSRMatrix, fanout: int, rng: np.random.Generator) -> CSRMatrix:
+    """Per-row neighbour subsampling of a row-sliced block (without replacement).
+
+    Rows with at most ``fanout`` entries are kept whole (degree < fanout is
+    the common case on the paper's sparse graphs); larger rows draw a
+    ``fanout``-subset with ``rng``.  Consumes one ``rng.choice`` per
+    oversized row, in row order — the stream is therefore a deterministic
+    function of the block structure and the generator state.
+    """
+    counts = np.diff(sliced.indptr)
+    keep_positions: List[np.ndarray] = []
+    new_counts = np.minimum(counts, fanout)
+    for row in range(sliced.shape[0]):
+        start, stop = int(sliced.indptr[row]), int(sliced.indptr[row + 1])
+        degree = stop - start
+        if degree == 0:
+            continue
+        if degree <= fanout:
+            keep_positions.append(np.arange(start, stop, dtype=np.int64))
+        else:
+            chosen = rng.choice(degree, size=fanout, replace=False)
+            chosen.sort()
+            keep_positions.append(start + chosen.astype(np.int64))
+    if keep_positions:
+        flat = np.concatenate(keep_positions)
+        indices, data = sliced.indices[flat], sliced.data[flat]
+    else:
+        indices = np.empty(0, dtype=np.int64)
+        data = np.empty(0, dtype=np.float64)
+    indptr = np.zeros(sliced.shape[0] + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=indptr[1:])
+    return CSRMatrix(indptr, indices, data, sliced.shape)

@@ -9,21 +9,33 @@ The trainer supports the three training regimes required by the paper:
   baselines),
 * **fine-tuning** — continued training with per-sample loss weights
   ``(1 + w_v)`` and/or a perturbed adjacency matrix (PPFR, DPFR).
+
+Each regime runs either **full-batch** (the default: one whole-graph
+forward/backward per epoch, unchanged from the original trainer) or
+**mini-batch** when ``batch_size`` is set: seed-node batches with per-layer
+neighbour sampling (:mod:`repro.gnn.sampling`), so the per-step cost is
+bounded by the batch's receptive field instead of the full graph.
+Evaluation always runs full-graph (every ``eval_interval`` epochs).
+Mini-batching falls back to the full-batch path when the loss needs
+full-graph logits (regularised training — the InFoRM penalty is a global
+quadratic form) or the model has no sampled forward path (GAT).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gnn.models import GNNModel
+from repro.gnn.sampling import BatchSpec, NeighborSampler
 from repro.graphs.graph import Graph
 from repro.graphs.revision import ensure_revision
 from repro.nn.losses import accuracy, cross_entropy, weighted_cross_entropy
 from repro.nn.optim import Adam, Optimizer, SGD
 from repro.nn.tensor import Tensor
+from repro.sparse.csr import CSRMatrix
 
 Regularizer = Callable[[Tensor, Graph], Tensor]
 """A differentiable penalty taking (logits, graph) and returning a scalar tensor."""
@@ -31,7 +43,17 @@ Regularizer = Callable[[Tensor, Graph], Tensor]
 
 @dataclass
 class TrainConfig:
-    """Hyper-parameters of a training run."""
+    """Hyper-parameters of a training run.
+
+    ``batch_size`` switches training to neighbour-sampled mini-batches;
+    ``fanouts`` is the per-layer neighbour budget (input layer first, one
+    entry per message-passing layer; ``None`` entries — or ``fanouts=None``
+    — sample exhaustively), ``batch_seed`` seeds the deterministic batch
+    schedule and block sampling, and ``eval_interval`` spaces out the
+    full-graph evaluation epochs (early stopping only ticks on evaluated
+    epochs).  With ``batch_size=None`` (the default) the original
+    full-batch path runs unchanged.
+    """
 
     epochs: int = 200
     learning_rate: float = 0.01
@@ -41,6 +63,10 @@ class TrainConfig:
     min_epochs: int = 20
     track_best: bool = True
     verbose: bool = False
+    batch_size: Optional[int] = None
+    fanouts: Optional[Tuple[Optional[int], ...]] = None
+    batch_seed: int = 0
+    eval_interval: int = 1
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -49,6 +75,25 @@ class TrainConfig:
             raise ValueError("optimizer must be 'adam' or 'sgd'")
         if self.patience is not None and self.patience <= 0:
             raise ValueError("patience must be positive or None")
+        if self.batch_size is not None and self.batch_size <= 0:
+            raise ValueError("batch_size must be positive or None")
+        if self.fanouts is not None:
+            if self.batch_size is None:
+                raise ValueError("fanouts require batch_size to be set")
+            self.fanouts = tuple(self.fanouts)
+            for fanout in self.fanouts:
+                if fanout is not None and fanout <= 0:
+                    raise ValueError("fanouts must be positive or None (exhaustive)")
+        if self.eval_interval <= 0:
+            raise ValueError("eval_interval must be positive")
+
+    def batch_spec(self) -> Optional[BatchSpec]:
+        """The :class:`~repro.gnn.sampling.BatchSpec` this config describes."""
+        if self.batch_size is None:
+            return None
+        return BatchSpec(
+            batch_size=self.batch_size, fanouts=self.fanouts, seed=self.batch_seed
+        )
 
 
 @dataclass
@@ -64,11 +109,22 @@ class TrainResult:
 
 
 class Trainer:
-    """Runs (re-)training of a GNN on a graph."""
+    """Runs (re-)training of a GNN on a graph.
 
-    def __init__(self, model: GNNModel, config: Optional[TrainConfig] = None) -> None:
+    ``batch_spec`` (or the equivalent ``TrainConfig`` batch fields) switches
+    the training step to neighbour-sampled mini-batches; evaluation and
+    early stopping stay full-graph.
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        config: Optional[TrainConfig] = None,
+        batch_spec: Optional[BatchSpec] = None,
+    ) -> None:
         self.model = model
         self.config = config or TrainConfig()
+        self.batch_spec = batch_spec
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -130,6 +186,27 @@ class Trainer:
         # a mutated caller-owned array can never hit a stale entry.
         ensure_revision(adjacency)
 
+        batch_spec = self.batch_spec if self.batch_spec is not None else config.batch_spec()
+        sampler: Optional[NeighborSampler] = None
+        fanouts: Optional[Tuple[Optional[int], ...]] = None
+        weight_lookup: Optional[np.ndarray] = None
+        layers = self.model.message_passing_layers
+        # Regularised losses need full-graph logits (InFoRM is a global
+        # quadratic form) and GAT has no sampled forward path: both fall back
+        # to the full-batch step so every method keeps running under a
+        # batched configuration.
+        if batch_spec is not None and not regularizers and layers is not None:
+            fanouts = batch_spec.layer_fanouts(layers)
+            structure = (
+                graph.csr()
+                if adjacency_override is None
+                else CSRMatrix.from_dense(adjacency)
+            )
+            sampler = NeighborSampler(structure, seed=batch_spec.seed)
+            if sample_weights is not None:
+                weight_lookup = np.zeros(graph.num_nodes, dtype=np.float64)
+                weight_lookup[train_idx] = sample_weights
+
         optimizer = self._build_optimizer()
         history: Dict[str, List[float]] = {
             "loss": [],
@@ -143,10 +220,30 @@ class Trainer:
         result = TrainResult(history=history)
 
         for epoch in range(total_epochs):
-            loss_value = self._train_step(
-                graph, adjacency, train_idx, optimizer, regularizers, sample_weights
+            if sampler is not None:
+                loss_value = self._train_step_batched(
+                    graph,
+                    sampler,
+                    batch_spec,
+                    fanouts,
+                    train_idx,
+                    optimizer,
+                    weight_lookup,
+                    epoch,
+                )
+            else:
+                loss_value = self._train_step(
+                    graph, adjacency, train_idx, optimizer, regularizers, sample_weights
+                )
+            evaluated = (
+                config.eval_interval == 1
+                or epoch % config.eval_interval == 0
+                or epoch == total_epochs - 1
             )
-            train_acc, val_acc = self._evaluate_epoch(graph, adjacency)
+            if evaluated:
+                train_acc, val_acc = self._evaluate_epoch(graph, adjacency)
+            else:
+                train_acc = val_acc = float("nan")
             history["loss"].append(loss_value)
             history["train_accuracy"].append(train_acc)
             history["val_accuracy"].append(val_acc)
@@ -165,10 +262,22 @@ class Trainer:
                 epochs_without_improvement = 0
                 if config.track_best:
                     best_state = self.model.state_dict()
-            else:
+            elif evaluated:
+                # Early stopping only ticks on evaluated epochs, so spacing
+                # evaluations out (eval_interval > 1) keeps patience counted
+                # in comparable units.
                 epochs_without_improvement += 1
 
-            stop_allowed = config.patience is not None and epoch + 1 >= config.min_epochs
+            # Break only on evaluated epochs: with eval_interval > 1 the
+            # patience counter goes stale in between, and stopping on a
+            # skipped epoch would leave NaN final accuracies for a model
+            # state nobody measured.  (Default eval_interval=1 evaluates
+            # every epoch, preserving the original behaviour exactly.)
+            stop_allowed = (
+                config.patience is not None
+                and epoch + 1 >= config.min_epochs
+                and evaluated
+            )
             if stop_allowed and epochs_without_improvement >= config.patience:
                 break
 
@@ -210,6 +319,10 @@ class Trainer:
             min_epochs=0,
             track_best=False,
             verbose=original_config.verbose,
+            batch_size=original_config.batch_size,
+            fanouts=original_config.fanouts,
+            batch_seed=original_config.batch_seed,
+            eval_interval=original_config.eval_interval,
         )
         try:
             return self.fit(
@@ -263,6 +376,49 @@ class Trainer:
         loss.backward()
         optimizer.step()
         return float(loss.item())
+
+    def _train_step_batched(
+        self,
+        graph: Graph,
+        sampler: NeighborSampler,
+        batch_spec: BatchSpec,
+        fanouts: Tuple[Optional[int], ...],
+        train_idx: np.ndarray,
+        optimizer: Optimizer,
+        weight_lookup: Optional[np.ndarray],
+        epoch: int,
+    ) -> float:
+        """One epoch of neighbour-sampled mini-batch training.
+
+        Returns the node-weighted mean loss over the epoch's batches, the
+        mini-batch analogue of the full-batch epoch loss.
+        """
+        self.model.train()
+        batches = sampler.epoch_schedule(
+            train_idx,
+            batch_spec.batch_size,
+            epoch=epoch,
+            shuffle=batch_spec.shuffle,
+            drop_last=batch_spec.drop_last,
+        )
+        total_loss = 0.0
+        total_nodes = 0
+        for batch_index, seeds in enumerate(batches):
+            optimizer.zero_grad()
+            blocks = sampler.sample_blocks(
+                seeds, fanouts, epoch=epoch, batch_index=batch_index
+            )
+            logits = self.model.forward_blocks(graph.features, blocks)
+            labels = graph.labels[seeds]
+            if weight_lookup is None:
+                loss = cross_entropy(logits, labels)
+            else:
+                loss = weighted_cross_entropy(logits, labels, weight_lookup[seeds])
+            loss.backward()
+            optimizer.step()
+            total_loss += float(loss.item()) * seeds.size
+            total_nodes += int(seeds.size)
+        return total_loss / max(total_nodes, 1)
 
     def _evaluate_epoch(self, graph: Graph, adjacency: np.ndarray) -> tuple[float, float]:
         logits = self.model.predict_logits(graph.features, adjacency)

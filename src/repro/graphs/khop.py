@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.sparse.backend import resolve_backend
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.ops import INF_HOPS, shortest_path_hops_csr
+from repro.sparse.ops import INF_HOPS, gather_neighbors, shortest_path_hops_csr
 from repro.utils.validation import check_adjacency
 
 AdjacencyLike = Union[np.ndarray, CSRMatrix]
@@ -32,6 +32,7 @@ AdjacencyLike = Union[np.ndarray, CSRMatrix]
 __all__ = [
     "INF_HOPS",
     "shortest_path_hops",
+    "khop_frontier",
     "khop_pairs",
     "pair_hop_histogram",
     "two_hop_ratio_empirical",
@@ -70,6 +71,35 @@ def shortest_path_hops(adjacency: AdjacencyLike) -> np.ndarray:
                     hops[source, neighbor] = next_hop
                     queue.append(neighbor)
     return hops
+
+
+def khop_frontier(adjacency: AdjacencyLike, seeds: np.ndarray, hops: int) -> np.ndarray:
+    """Sorted unique nodes within ``hops`` edges of ``seeds`` (seeds included).
+
+    This is the receptive field of an ``hops``-layer message-passing model
+    over the seed set, computed by the same frontier expansion the BFS and
+    the mini-batch neighbour sampler use
+    (:func:`repro.sparse.ops.gather_neighbors`): each level gathers the
+    concatenated adjacency lists of the still-unvisited frontier, so the cost
+    is O(Σ deg(visited)) instead of any dense scan.
+    """
+    if hops < 0:
+        raise ValueError("hops must be non-negative")
+    csr = adjacency if isinstance(adjacency, CSRMatrix) else CSRMatrix.from_dense(
+        check_adjacency(adjacency)
+    )
+    seeds = np.asarray(seeds, dtype=np.int64)
+    if seeds.size and (seeds.min() < 0 or seeds.max() >= csr.shape[0]):
+        raise ValueError("seed index out of bounds")
+    visited = np.unique(seeds)
+    frontier = visited
+    for _ in range(hops):
+        if frontier.size == 0:
+            break
+        candidates = np.unique(gather_neighbors(csr.indptr, csr.indices, frontier))
+        frontier = candidates[~np.isin(candidates, visited, assume_unique=True)]
+        visited = np.union1d(visited, frontier)
+    return visited
 
 
 def khop_pairs(adjacency: AdjacencyLike, k: int) -> np.ndarray:

@@ -84,6 +84,23 @@ def normalize_rows(x: Tensor, eps: float = 1e-12) -> Tensor:
     return x / (norm + Tensor(eps))
 
 
+def normalize_rows_stable(x: Tensor, eps: float = 1e-12) -> Tensor:
+    """L2 row normalisation with a zero-row-safe backward.
+
+    ``normalize_rows`` computes ``sqrt(Σx²)`` on the tape, whose backward is
+    unbounded at an exactly-zero row (``0 ** -0.5``) and poisons every
+    gradient upstream with NaN.  Zero rows are rare in full-batch training
+    but routine in sampled mini-batch blocks (a node whose sampled
+    aggregation lands all-negative before the ReLU), so the sampled forward
+    paths use this variant: smoothing the square root by ``eps²`` keeps the
+    backward finite everywhere while perturbing non-zero rows at O(eps²) —
+    far below the 1e-8 equivalence tolerance.  The full-batch path keeps the
+    original kernel bit-for-bit.
+    """
+    norm = ((x * x).sum(axis=1, keepdims=True) + Tensor(eps * eps)) ** 0.5
+    return x / (norm + Tensor(eps))
+
+
 def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
     """Affine map ``x @ weight + bias``."""
     out = x.matmul(weight)

@@ -11,7 +11,10 @@ table/figure pipeline runs unmodified on either backend.
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import (
     binary_neighborhoods_csr,
+    gather_neighbor_positions,
+    gather_neighbors,
     gcn_norm_csr,
+    induced_subgraph_csr,
     jaccard_pairs_csr,
     jaccard_similarity_csr,
     left_norm_csr,
@@ -56,6 +59,9 @@ __all__ = [
     "binary_neighborhoods_csr",
     "jaccard_similarity_csr",
     "jaccard_pairs_csr",
+    "gather_neighbor_positions",
+    "gather_neighbors",
+    "induced_subgraph_csr",
     "spmm",
     "spmv",
     "OperatorCache",

@@ -23,7 +23,26 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "gather_row_positions"]
+
+
+def gather_row_positions(indptr: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Flat positions (into ``indices``/``data``) of the given rows' slices.
+
+    The single implementation of the starts/counts flat-gather arithmetic
+    behind every frontier expansion: :meth:`CSRMatrix.slice_rows`, the BFS
+    and the mini-batch sampler (re-exported as
+    :func:`repro.sparse.ops.gather_neighbor_positions`).  Duplicate rows are
+    allowed and repeat their slice.
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    starts = indptr[rows]
+    counts = indptr[rows + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
 
 
 def _coo_to_csr(
@@ -241,6 +260,27 @@ class CSRMatrix:
     @property
     def T(self) -> "CSRMatrix":
         return self.transpose()
+
+    def slice_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """Gather ``rows`` (in the given order) into a ``(len(rows), C)`` matrix.
+
+        The row-slice kernel behind mini-batch block extraction: each output
+        row is the full adjacency list of the corresponding input row, with
+        column indices unchanged (still global).  Duplicate row ids are
+        allowed and simply repeat the row.  Cost is O(output nnz).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be a 1-D index array")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.shape[0]):
+            raise ValueError("row index out of bounds")
+        counts = self.indptr[rows + 1] - self.indptr[rows]
+        indptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        flat = gather_row_positions(self.indptr, rows)
+        return CSRMatrix(
+            indptr, self.indices[flat], self.data[flat], (rows.size, self.shape[1])
+        )
 
     def scale_rows(self, factors: np.ndarray) -> "CSRMatrix":
         """Return ``diag(factors) @ self``."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.sparse.csr import CSRMatrix
+from repro.sparse.csr import CSRMatrix, gather_row_positions
 
 __all__ = [
     "INF_HOPS",
@@ -26,6 +26,9 @@ __all__ = [
     "binary_neighborhoods_csr",
     "jaccard_similarity_csr",
     "jaccard_pairs_csr",
+    "gather_neighbor_positions",
+    "gather_neighbors",
+    "induced_subgraph_csr",
 ]
 
 INF_HOPS = -1
@@ -210,19 +213,56 @@ def jaccard_pairs_csr(
     return values
 
 
-def _gather_neighbors(
+def gather_neighbor_positions(indptr: np.ndarray, frontier: np.ndarray) -> np.ndarray:
+    """Flat positions (into ``indices``/``data``) of every frontier node's slice.
+
+    The shared frontier-expansion kernel: BFS, k-hop neighbourhood queries,
+    row slicing and the mini-batch neighbour sampler all expand a node
+    frontier by gathering the concatenated CSR adjacency lists; the single
+    implementation lives next to the container
+    (:func:`repro.sparse.csr.gather_row_positions`).
+    """
+    return gather_row_positions(indptr, frontier)
+
+
+def gather_neighbors(
     indptr: np.ndarray, indices: np.ndarray, frontier: np.ndarray
 ) -> np.ndarray:
     """Concatenate the adjacency lists of every frontier node (vectorised)."""
-    starts = indptr[frontier]
-    counts = indptr[frontier + 1] - starts
-    total = int(counts.sum())
-    if total == 0:
-        return np.empty(0, dtype=np.int64)
-    # Positions of each frontier node's slice inside the flat gather.
-    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - offsets, counts)
-    return indices[flat]
+    return indices[gather_neighbor_positions(indptr, frontier)]
+
+
+# Backwards-compatible private alias (pre-sampling callers).
+_gather_neighbors = gather_neighbors
+
+
+def induced_subgraph_csr(adjacency: CSRMatrix, nodes: np.ndarray) -> CSRMatrix:
+    """The ``(K, K)`` subgraph induced by ``nodes``, relabelled to ``0..K-1``.
+
+    Row ``i`` of the result is the adjacency list of ``nodes[i]`` restricted
+    to columns inside ``nodes`` (in the order given).  ``nodes`` must not
+    contain duplicates — relabelling would be ambiguous.  Cost is
+    O(Σ deg(nodes)) plus an O(N) relabelling table.
+    """
+    _require_square(adjacency, "adjacency")
+    nodes = np.asarray(nodes, dtype=np.int64)
+    if nodes.ndim != 1:
+        raise ValueError("nodes must be a 1-D index array")
+    if nodes.size and (nodes.min() < 0 or nodes.max() >= adjacency.shape[0]):
+        raise ValueError("node index out of bounds")
+    if np.unique(nodes).size != nodes.size:
+        raise ValueError("nodes must not contain duplicates")
+    lookup = np.full(adjacency.shape[0], -1, dtype=np.int64)
+    lookup[nodes] = np.arange(nodes.size, dtype=np.int64)
+    sliced = adjacency.slice_rows(nodes)
+    local_cols = lookup[sliced.indices]
+    keep = local_cols >= 0
+    rows = np.repeat(
+        np.arange(nodes.size, dtype=np.int64), np.diff(sliced.indptr)
+    )[keep]
+    return CSRMatrix.from_coo(
+        rows, local_cols[keep], sliced.data[keep], (nodes.size, nodes.size)
+    )
 
 
 def shortest_path_hops_csr(adjacency: CSRMatrix) -> np.ndarray:
@@ -244,7 +284,7 @@ def shortest_path_hops_csr(adjacency: CSRMatrix) -> np.ndarray:
         level = 0
         while frontier.size:
             level += 1
-            candidates = _gather_neighbors(indptr, indices, frontier)
+            candidates = gather_neighbors(indptr, indices, frontier)
             candidates = candidates[dist[candidates] == INF_HOPS]
             if candidates.size == 0:
                 break

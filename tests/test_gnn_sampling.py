@@ -1,0 +1,505 @@
+"""Tests for neighbour-sampled mini-batch training (:mod:`repro.gnn.sampling`).
+
+The acceptance properties of the subsystem mirror the grid engine's:
+
+* **equivalence** — exhaustive fanouts + a single batch covering the train
+  nodes reproduce the full-batch forward logits to 1e-8 under both the
+  dense and the sparse compute backend, for GCN and GraphSAGE;
+* **determinism** — the batch schedule and every sampled block are pure
+  functions of ``(seed, epoch, batch_index)``, so serial, thread-pool and
+  process-pool execution produce byte-identical structures (the PR-2
+  executor-transparency pattern);
+* **edge cases** — isolated nodes, degree < fanout, empty frontiers and
+  single-node batches are well-formed;
+* **cache hygiene** — batch-local blocks never enter (nor get served from)
+  the revision-keyed full-graph propagation-operator cache.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.gnn.models import build_model
+from repro.gnn.sampling import BatchSpec, NeighborSampler, block_propagation
+from repro.gnn.trainer import TrainConfig, Trainer
+from repro.graphs.graph import Graph
+from repro.graphs.khop import khop_frontier
+from repro.graphs.revision import adjacency_revision
+from repro.sparse import OperatorCache, use_operator_cache
+from repro.sparse.backend import build_propagation, use_backend
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import (
+    gcn_norm_csr,
+    induced_subgraph_csr,
+    left_norm_csr,
+    mean_aggregation_csr,
+)
+
+
+def _path_graph_with_isolates() -> Graph:
+    """A 7-node graph: a 5-path (0-1-2-3-4) plus isolated nodes 5 and 6."""
+    adjacency = np.zeros((7, 7))
+    for i in range(4):
+        adjacency[i, i + 1] = adjacency[i + 1, i] = 1.0
+    features = np.eye(7)
+    labels = np.array([0, 1, 0, 1, 0, 1, 0])
+    masks = np.ones(7, dtype=bool)
+    return Graph(
+        adjacency=adjacency,
+        features=features,
+        labels=labels,
+        train_mask=masks.copy(),
+        val_mask=~masks,
+        test_mask=~masks,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Exhaustive-sampling equivalence (satellite 1)
+# --------------------------------------------------------------------- #
+class TestExhaustiveEquivalence:
+    @pytest.mark.parametrize("model_name", ["gcn", "graphsage"])
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_single_batch_matches_full_forward(self, tiny_graph, model_name, backend):
+        model = build_model(
+            model_name,
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        seeds = tiny_graph.train_indices()
+        sampler = NeighborSampler(tiny_graph.csr(), seed=3)
+        blocks = sampler.sample_blocks(seeds, (None,) * model.message_passing_layers)
+        with use_backend(backend):
+            structure = tiny_graph.adjacency if backend == "dense" else tiny_graph.csr()
+            full = model.predict_logits(tiny_graph.features, structure)
+            mini = model.predict_logits_blocks(tiny_graph.features, blocks)
+        assert np.allclose(mini, full[seeds], atol=1e-8)
+
+    def test_block_operators_match_full_kernels(self, tiny_graph):
+        """Exhaustive block propagation rows equal the full-graph operator rows."""
+        csr = tiny_graph.csr()
+        seeds = np.arange(tiny_graph.num_nodes, dtype=np.int64)  # every node
+        sampler = NeighborSampler(csr, seed=0)
+        block = sampler.sample_layer(seeds, fanout=None)
+        full = {
+            "gcn": gcn_norm_csr(csr),
+            "left": left_norm_csr(csr),
+            "mean": mean_aggregation_csr(csr, include_self=True),
+            "mean_noself": mean_aggregation_csr(csr, include_self=False),
+        }
+        for kind, reference in full.items():
+            assert np.allclose(
+                block_propagation(block, kind).to_dense(),
+                reference.to_dense(),
+                atol=1e-8,
+            )
+
+    def test_block_src_set_is_khop_frontier(self, tiny_graph):
+        """A stack of exhaustive blocks covers exactly the L-hop receptive field."""
+        seeds = tiny_graph.train_indices()[:5]
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        blocks = sampler.sample_blocks(seeds, (None, None))
+        receptive = khop_frontier(tiny_graph.csr(), seeds, hops=2)
+        assert np.array_equal(np.sort(blocks[0].src_nodes), receptive)
+
+
+# --------------------------------------------------------------------- #
+# Seeded determinism across executors (satellite 2)
+# --------------------------------------------------------------------- #
+def _batch_fingerprint(payload) -> bytes:
+    """Schedule + blocks of one (epoch, batch) drawn from scratch.
+
+    Top-level so the process executor can pickle it; the sampler is rebuilt
+    from the raw CSR arrays inside the worker, exactly as a fresh process
+    would.
+    """
+    indptr, indices, data, n, seed, fanouts, epoch, batch_index = payload
+    sampler = NeighborSampler(CSRMatrix(indptr, indices, data, (n, n)), seed=seed)
+    batches = sampler.epoch_schedule(np.arange(n, dtype=np.int64), 16, epoch=epoch)
+    seeds = batches[batch_index]
+    blocks = sampler.sample_blocks(seeds, fanouts, epoch=epoch, batch_index=batch_index)
+    return seeds.tobytes() + b"#" + b"#".join(block.fingerprint() for block in blocks)
+
+
+class TestSeededDeterminism:
+    @pytest.fixture(scope="class")
+    def payloads(self, tiny_graph):
+        csr = tiny_graph.csr()
+        return [
+            (
+                csr.indptr,
+                csr.indices,
+                csr.data,
+                tiny_graph.num_nodes,
+                11,
+                (4, 4),
+                epoch,
+                batch_index,
+            )
+            for epoch in range(2)
+            for batch_index in range(3)
+        ]
+
+    # tiny_graph is consumed through `payloads`; listing it keeps fixture
+    # construction in the main process for the session-scoped graph.
+    def test_thread_and_process_executors_match_serial(self, payloads, tiny_graph):
+        serial = [_batch_fingerprint(payload) for payload in payloads]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            threaded = list(pool.map(_batch_fingerprint, payloads))
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            processed = list(pool.map(_batch_fingerprint, payloads))
+        assert serial == threaded == processed
+
+    def test_same_seed_same_schedule_and_blocks(self, tiny_graph):
+        nodes = tiny_graph.train_indices()
+        first = NeighborSampler(tiny_graph.csr(), seed=5)
+        second = NeighborSampler(tiny_graph.csr(), seed=5)
+        for epoch in range(3):
+            a = first.epoch_schedule(nodes, 8, epoch=epoch)
+            b = second.epoch_schedule(nodes, 8, epoch=epoch)
+            assert [batch.tolist() for batch in a] == [batch.tolist() for batch in b]
+            blocks_a = first.sample_blocks(a[0], (3, 3), epoch=epoch, batch_index=0)
+            blocks_b = second.sample_blocks(b[0], (3, 3), epoch=epoch, batch_index=0)
+            assert [x.fingerprint() for x in blocks_a] == [
+                x.fingerprint() for x in blocks_b
+            ]
+
+    def test_different_seed_differs(self, tiny_graph):
+        nodes = tiny_graph.train_indices()
+        a = NeighborSampler(tiny_graph.csr(), seed=0).epoch_schedule(nodes, 8)
+        b = NeighborSampler(tiny_graph.csr(), seed=1).epoch_schedule(nodes, 8)
+        assert any(x.tolist() != y.tolist() for x, y in zip(a, b))
+
+    def test_batched_training_is_reproducible(self, tiny_graph):
+        def run():
+            model = build_model(
+                "gcn",
+                in_features=tiny_graph.num_features,
+                num_classes=tiny_graph.num_classes,
+                hidden_features=8,
+                rng=0,
+            )
+            config = TrainConfig(
+                epochs=6,
+                patience=None,
+                track_best=False,
+                batch_size=8,
+                fanouts=(4, 4),
+                batch_seed=2,
+            )
+            Trainer(model, config).fit(tiny_graph)
+            return model.state_dict()
+
+        first, second = run(), run()
+        assert all(np.array_equal(first[key], second[key]) for key in first)
+
+
+# --------------------------------------------------------------------- #
+# Sampler / kernel edge cases (satellite 3)
+# --------------------------------------------------------------------- #
+class TestEdgeCases:
+    def test_isolated_nodes_sample_only_themselves(self):
+        graph = _path_graph_with_isolates()
+        sampler = NeighborSampler(graph.csr(), seed=0)
+        block = sampler.sample_layer(np.array([5, 6]), fanout=3, rng=np.random.default_rng(0))
+        assert block.adjacency.nnz == 0
+        assert block.src_nodes.tolist() == [5, 6]
+        # gcn/left/mean self-loops keep isolated rows stochastic; mean_noself is zero.
+        for kind in ("gcn", "left", "mean"):
+            dense = block_propagation(block, kind).to_dense()
+            assert np.allclose(np.diag(dense), 1.0)
+        assert block_propagation(block, "mean_noself").nnz == 0
+
+    def test_degree_below_fanout_takes_all_neighbors(self):
+        graph = _path_graph_with_isolates()
+        sampler = NeighborSampler(graph.csr(), seed=0)
+        block = sampler.sample_layer(
+            np.arange(5), fanout=10, rng=np.random.default_rng(0)
+        )
+        # fanout exceeds every degree, so the block equals the exhaustive one.
+        exhaustive = sampler.sample_layer(np.arange(5), fanout=None)
+        assert block.fingerprint() == exhaustive.fingerprint()
+
+    def test_fanout_caps_sampled_degree(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        block = sampler.sample_layer(
+            tiny_graph.train_indices(), fanout=2, rng=np.random.default_rng(1)
+        )
+        degrees = np.diff(block.adjacency.indptr)
+        assert degrees.max() <= 2
+        # sampled columns must be real neighbours
+        dense = tiny_graph.adjacency
+        for row in range(block.num_dst):
+            cols = block.adjacency.indices[
+                block.adjacency.indptr[row] : block.adjacency.indptr[row + 1]
+            ]
+            for col in block.src_nodes[cols]:
+                assert dense[block.dst_nodes[row], col] > 0
+
+    def test_duplicate_dst_rejected(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_layer(np.array([3, 3]), fanout=None)
+
+    def test_empty_frontier(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        block = sampler.sample_layer(np.empty(0, dtype=np.int64), fanout=None)
+        assert block.num_dst == 0 and block.num_src == 0
+        assert block.adjacency.shape == (0, 0)
+        blocks = sampler.sample_blocks(np.empty(0, dtype=np.int64), (2, 2))
+        assert all(b.num_dst == 0 for b in blocks)
+
+    def test_single_node_batch_trains_and_predicts(self, tiny_graph):
+        model = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        seed_node = tiny_graph.train_indices()[:1]
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        blocks = sampler.sample_blocks(seed_node, (None, None))
+        logits = model.predict_logits_blocks(tiny_graph.features, blocks)
+        full = model.predict_logits(tiny_graph.features, tiny_graph.adjacency)
+        assert logits.shape == (1, tiny_graph.num_classes)
+        assert np.allclose(logits[0], full[seed_node[0]], atol=1e-8)
+
+    def test_batch_spec_validation(self):
+        with pytest.raises(ValueError):
+            BatchSpec(batch_size=0)
+        with pytest.raises(ValueError):
+            BatchSpec(batch_size=4, fanouts=(0, 3))
+        assert BatchSpec(batch_size=4).layer_fanouts(3) == (None, None, None)
+        with pytest.raises(ValueError):
+            BatchSpec(batch_size=4, fanouts=(2,)).layer_fanouts(2)
+
+    def test_train_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=-1)
+        with pytest.raises(ValueError):
+            TrainConfig(fanouts=(5, 5))  # fanouts without batch_size
+        with pytest.raises(ValueError):
+            TrainConfig(batch_size=4, eval_interval=0)
+
+    def test_slice_rows_matches_dense(self, tiny_graph):
+        csr = tiny_graph.csr()
+        rows = np.array([4, 0, 4, 11])  # duplicates allowed, order preserved
+        sliced = csr.slice_rows(rows)
+        assert np.allclose(sliced.to_dense(), tiny_graph.adjacency[rows])
+        with pytest.raises(ValueError):
+            csr.slice_rows(np.array([tiny_graph.num_nodes]))
+
+    def test_induced_subgraph_matches_dense(self, tiny_graph):
+        nodes = np.array([3, 0, 17, 9])
+        induced = induced_subgraph_csr(tiny_graph.csr(), nodes)
+        assert np.allclose(
+            induced.to_dense(), tiny_graph.adjacency[np.ix_(nodes, nodes)]
+        )
+        with pytest.raises(ValueError):
+            induced_subgraph_csr(tiny_graph.csr(), np.array([1, 1]))
+
+    def test_induced_subgraph_empty_and_isolated(self):
+        graph = _path_graph_with_isolates()
+        empty = induced_subgraph_csr(graph.csr(), np.empty(0, dtype=np.int64))
+        assert empty.shape == (0, 0) and empty.nnz == 0
+        isolated = induced_subgraph_csr(graph.csr(), np.array([5, 6]))
+        assert isolated.shape == (2, 2) and isolated.nnz == 0
+
+
+# --------------------------------------------------------------------- #
+# Operator-cache hygiene (satellite 4)
+# --------------------------------------------------------------------- #
+class TestOperatorCacheHygiene:
+    def test_blocks_are_never_revision_tagged(self, tiny_graph):
+        sampler = NeighborSampler(tiny_graph.csr(), seed=0)
+        blocks = sampler.sample_blocks(tiny_graph.train_indices()[:8], (3, 3))
+        for block in blocks:
+            assert adjacency_revision(block.adjacency) is None
+
+    def test_batched_training_does_not_pollute_opcache(self, tiny_graph):
+        """Mini-batch epochs must leave the propagation cache to the full graph.
+
+        Only the full-graph evaluation operator may enter the cache (one
+        entry, hit every epoch); block operators bypass it entirely, and the
+        entry served afterwards is still the untouched full-graph operator.
+        """
+        model = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        cache = OperatorCache()
+        config = TrainConfig(
+            epochs=5, patience=None, track_best=False, batch_size=8, fanouts=(3, 3)
+        )
+        with use_operator_cache(cache):
+            Trainer(model, config).fit(tiny_graph)
+            stats = cache.stats
+            # One miss per (revision, kind, backend) the *evaluation* needed;
+            # batches contributed nothing.
+            assert stats.size == stats.misses == 1
+            assert stats.hits >= config.epochs - 1
+            cached = build_propagation(tiny_graph.adjacency, kind="gcn")
+        reference = build_propagation(tiny_graph.adjacency, kind="gcn")
+        assert np.allclose(cached.to_array(), reference.to_array(), atol=0)
+
+    def test_full_batch_path_unchanged_when_batching_off(self, tiny_graph):
+        """batch_size=None must reproduce the original trainer bit-for-bit."""
+
+        def run(config):
+            model = build_model(
+                "gcn",
+                in_features=tiny_graph.num_features,
+                num_classes=tiny_graph.num_classes,
+                hidden_features=8,
+                rng=0,
+            )
+            result = Trainer(model, config).fit(tiny_graph)
+            return model.state_dict(), result.history
+
+        state_a, history_a = run(TrainConfig(epochs=8, patience=None, track_best=False))
+        state_b, history_b = run(
+            TrainConfig(epochs=8, patience=None, track_best=False, batch_size=None)
+        )
+        assert history_a == history_b
+        assert all(np.array_equal(state_a[key], state_b[key]) for key in state_a)
+
+
+# --------------------------------------------------------------------- #
+# Mini-batch training end-to-end
+# --------------------------------------------------------------------- #
+class TestMiniBatchTraining:
+    def test_batched_training_learns(self, tiny_graph):
+        model = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        config = TrainConfig(
+            epochs=40,
+            patience=None,
+            track_best=False,
+            batch_size=8,
+            fanouts=(5, 5),
+            eval_interval=4,
+        )
+        result = Trainer(model, config).fit(tiny_graph)
+        assert result.final_train_accuracy > 0.8
+        # eval_interval spaces evaluations out; skipped epochs record NaN.
+        evaluated = np.isfinite(result.history["val_accuracy"])
+        assert 0 < evaluated.sum() < result.epochs_run
+
+    def test_early_stop_only_fires_on_evaluated_epochs(self, tiny_graph):
+        """Regression: with eval_interval > 1 a stale patience counter must
+        not break on a skipped epoch, which would report NaN final
+        accuracies for a model state nobody measured."""
+        model = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        config = TrainConfig(
+            epochs=60,
+            patience=1,
+            min_epochs=12,
+            batch_size=8,
+            fanouts=(3, 3),
+            eval_interval=5,
+        )
+        result = Trainer(model, config).fit(tiny_graph)
+        assert np.isfinite(result.final_train_accuracy)
+        assert np.isfinite(result.final_val_accuracy)
+        # The stopping epoch itself was evaluated.
+        assert np.isfinite(result.history["val_accuracy"][-1])
+
+    @pytest.mark.parametrize("model_seed", [0, 1, 2])
+    def test_batched_sage_stays_finite(self, tiny_graph, model_seed):
+        """Regression: zero post-ReLU block rows must not NaN-poison training.
+
+        Sampled SAGE blocks hit exactly-zero rows far more often than the
+        full-batch path; the stable row normalisation keeps every gradient
+        finite (with the plain kernel, training collapsed to chance).
+        """
+        model = build_model(
+            "graphsage",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=model_seed,
+        )
+        config = TrainConfig(
+            epochs=30,
+            patience=None,
+            track_best=False,
+            batch_size=8,
+            fanouts=(3, 3),
+            batch_seed=model_seed,
+        )
+        result = Trainer(model, config).fit(tiny_graph)
+        assert all(
+            np.isfinite(value).all() for value in model.state_dict().values()
+        )
+        assert result.final_train_accuracy > 0.5
+
+    def test_trainer_accepts_explicit_batch_spec(self, tiny_graph):
+        model = build_model(
+            "graphsage",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        spec = BatchSpec(batch_size=16, fanouts=(4, 4), seed=9)
+        trainer = Trainer(
+            model, TrainConfig(epochs=10, patience=None, track_best=False), batch_spec=spec
+        )
+        result = trainer.fit(tiny_graph)
+        assert result.epochs_run == 10
+
+    def test_method_settings_with_batching(self):
+        from repro.core.config import MethodSettings
+
+        settings = MethodSettings()
+        batched = settings.with_batching(32, fanouts=(10, 10), batch_seed=4)
+        assert batched.train.batch_size == 32
+        assert batched.train.fanouts == (10, 10)
+        assert settings.train.batch_size is None  # original untouched
+        assert batched.with_batching(None).train.batch_size is None
+
+    def test_cli_parser_batch_flags(self):
+        from repro.experiments.__main__ import build_parser, parse_fanouts
+
+        args = build_parser().parse_args(
+            ["table3", "--batch-size", "64", "--fanouts", "10,all", "--eval-interval", "5"]
+        )
+        assert args.batch_size == 64 and args.fanouts == (10, None)
+        assert args.eval_interval == 5
+        assert build_parser().parse_args(["table3"]).batch_size is None
+        assert parse_fanouts("5") == (5,)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--fanouts", "0,2"])
+
+    def test_preset_batch_fields_reach_train_config(self):
+        from dataclasses import replace
+
+        from repro.experiments.presets import get_preset
+
+        preset = replace(
+            get_preset("smoke"), batch_size=16, fanouts=(4, 4), eval_interval=3
+        )
+        train = preset.method_settings("cora").train
+        assert train.batch_size == 16
+        assert train.fanouts == (4, 4)
+        assert train.eval_interval == 3
