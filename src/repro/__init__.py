@@ -13,7 +13,9 @@ The package is organised as:
 * :mod:`repro.influence`   — influence functions on training nodes,
 * :mod:`repro.optimization`— the QCLP solver used by fairness reweighting,
 * :mod:`repro.core`        — the PPFR method, baselines and the Δ metric,
-* :mod:`repro.experiments` — harness regenerating every table and figure.
+* :mod:`repro.experiments` — harness regenerating every table and figure,
+* :mod:`repro.serve`       — online inference serving (registry, engine,
+  mutable graph sessions, request batching).
 
 Quickstart
 ----------
@@ -38,6 +40,7 @@ from repro import (
     nn,
     optimization,
     privacy,
+    serve,
     sparse,
     utils,
 )
@@ -55,6 +58,7 @@ __all__ = [
     "nn",
     "optimization",
     "privacy",
+    "serve",
     "sparse",
     "utils",
     "__version__",

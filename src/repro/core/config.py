@@ -36,12 +36,18 @@ class ComputeConfig:
     cache:
         Enables the artifact/operator caches of the grid engine; caching is
         deterministic and trades memory for wall-clock only.
+    cache_dir:
+        Optional directory (the CLI's ``--cache-dir``, conventionally
+        ``results/cache``) enabling the persistent artifact tier: trained
+        cells are spilled to disk and reused across CLI invocations and
+        process-pool workers.
     """
 
     backend: Optional[str] = None
     executor: Optional[str] = None
     jobs: Optional[int] = None
     cache: bool = True
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:

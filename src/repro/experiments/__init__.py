@@ -22,10 +22,14 @@ Experiment index (see DESIGN.md §4):
 """
 
 from repro.experiments.presets import ExperimentPreset, PRESETS, get_preset
-from repro.experiments.reporting import ExperimentResult, format_table
+from repro.experiments.reporting import (
+    ExperimentResult,
+    aggregate_seed_results,
+    format_table,
+)
 from repro.experiments.grid import CellResult, CellSpec, GridRunner, run_grid
 from repro.experiments import cells, tables, figures
-from repro.experiments.runner import run_experiment, EXPERIMENTS
+from repro.experiments.runner import run_experiment, run_experiment_seeds, EXPERIMENTS
 
 __all__ = [
     "ExperimentPreset",
@@ -41,5 +45,7 @@ __all__ = [
     "tables",
     "figures",
     "run_experiment",
+    "run_experiment_seeds",
+    "aggregate_seed_results",
     "EXPERIMENTS",
 ]

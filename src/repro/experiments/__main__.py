@@ -24,8 +24,29 @@ from typing import List, Optional, Tuple
 from repro.core.config import GRID_EXECUTORS
 from repro.experiments.grid import GridRunner
 from repro.experiments.presets import PRESETS, get_preset
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import EXPERIMENTS, run_experiment, run_experiment_seeds
 from repro.sparse.backend import available_backends
+
+
+def parse_seeds(text: str) -> Tuple[int, ...]:
+    """Parse ``--seeds`` values like ``"0,1,2"`` (distinct non-negative ints)."""
+    seeds: List[int] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            raise argparse.ArgumentTypeError("empty seed entry")
+        try:
+            value = int(part)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(
+                f"invalid seed {part!r}: expected an integer"
+            ) from error
+        if value < 0:
+            raise argparse.ArgumentTypeError("seeds must be non-negative")
+        seeds.append(value)
+    if len(set(seeds)) != len(seeds):
+        raise argparse.ArgumentTypeError("seeds must be distinct")
+    return tuple(seeds)
 
 
 def parse_fanouts(text: str) -> Tuple[Optional[int], ...]:
@@ -71,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="size/budget preset (default: quick)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root random seed")
+    parser.add_argument(
+        "--seeds",
+        type=parse_seeds,
+        default=None,
+        help=(
+            "comma-separated seed list for multi-seed replication, e.g. "
+            "'0,1,2': every cell is replicated per seed and table cells "
+            "report mean ± std (overrides --seed)"
+        ),
+    )
     parser.add_argument(
         "--batch-size",
         type=int,
@@ -142,6 +173,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable caching (every cell trains from scratch)",
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the artifact cache to DIR (conventionally "
+            "'results/cache'): repeated invocations and process-pool workers "
+            "reuse trained cells across processes (implies --cache)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         default=None,
         help="directory to write <experiment>.json result files into",
@@ -182,14 +223,22 @@ def main(argv: Optional[List[str]] = None) -> int:
     # One runner for the whole invocation: experiments share trained cells
     # (table3 and figure4 declare identical (gcn, vanilla/reg) grids), and
     # the runner applies --backend around every cell on every executor.
+    if args.cache_dir is not None and not args.cache:
+        parser.error("--cache-dir conflicts with --no-cache")
     runner = GridRunner(
         executor=args.executor,
         jobs=args.jobs,
         cache=args.cache,
         backend=args.backend,
+        cache_dir=args.cache_dir,
     )
     for name in names:
-        result = run_experiment(name, preset=preset, seed=args.seed, runner=runner)
+        if args.seeds is not None:
+            result = run_experiment_seeds(
+                name, seeds=args.seeds, preset=preset, runner=runner
+            )
+        else:
+            result = run_experiment(name, preset=preset, seed=args.seed, runner=runner)
         print(result.formatted())
         print()
         if args.output:

@@ -129,6 +129,12 @@ class GridRunner:
         ambient selection — which thread workers receive via context copy and
         process workers via an explicit re-application of the submitting
         context's backend name.
+    cache_dir:
+        Optional directory for the *persistent* artifact tier: entries are
+        spilled to disk so repeated CLI invocations (and process-pool
+        workers, which share the directory) reuse trained cells across
+        process boundaries.  Implies ``cache``; ignored when an explicit
+        ``artifact_cache`` is supplied.
     artifact_cache / operator_cache:
         Pre-built caches to share across runners (e.g. one CLI invocation).
     """
@@ -139,6 +145,7 @@ class GridRunner:
         jobs: Optional[int] = None,
         cache: bool = True,
         backend: Optional[str] = None,
+        cache_dir: Optional[str] = None,
         artifact_cache: Optional[ArtifactCache] = None,
         operator_cache: Optional[OperatorCache] = None,
     ) -> None:
@@ -155,12 +162,13 @@ class GridRunner:
             1 if executor == "serial" else _default_jobs()
         )
         self.backend = backend
-        self.cache_enabled = bool(cache)
+        self.cache_enabled = bool(cache) or cache_dir is not None
+        self.cache_dir = cache_dir
         self.artifact_cache = artifact_cache if artifact_cache is not None else (
-            ArtifactCache() if cache else None
+            ArtifactCache(directory=cache_dir) if self.cache_enabled else None
         )
         self.operator_cache = operator_cache if operator_cache is not None else (
-            OperatorCache() if cache else None
+            OperatorCache() if self.cache_enabled else None
         )
 
     @classmethod
@@ -171,6 +179,7 @@ class GridRunner:
             jobs=compute.jobs,
             cache=compute.cache,
             backend=compute.backend,
+            cache_dir=getattr(compute, "cache_dir", None),
             **kwargs,
         )
 
@@ -262,7 +271,9 @@ class GridRunner:
         backend = self.backend if self.backend is not None else get_backend_name()
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
             futures = {
-                spec: pool.submit(_process_cell, spec, backend, self.cache_enabled)
+                spec: pool.submit(
+                    _process_cell, spec, backend, self.cache_enabled, self.cache_dir
+                )
                 for spec in specs
             }
             return {spec: future.result() for spec, future in futures.items()}
@@ -275,12 +286,15 @@ class GridRunner:
         return None if self.artifact_cache is None else self.artifact_cache.stats
 
 
-def _process_cell(spec: CellSpec, backend: str, cache: bool) -> Tuple[Dict, float]:
+def _process_cell(
+    spec: CellSpec, backend: str, cache: bool, cache_dir: Optional[str] = None
+) -> Tuple[Dict, float]:
     """Top-level process-executor entry point (must be picklable by name).
 
     Workers get fresh per-task caches: the operator cache still collapses the
     per-epoch normalisation rebuilds inside the cell, while results stay
-    independent of worker scheduling.
+    independent of worker scheduling.  A shared ``cache_dir`` extends
+    artifact deduplication across workers through the persistent tier.
     """
     from repro.experiments.cells import execute_cell
 
@@ -288,7 +302,10 @@ def _process_cell(spec: CellSpec, backend: str, cache: bool) -> Tuple[Dict, floa
     with use_backend(backend):
         with use_operator_cache(OperatorCache() if cache else None):
             payload = execute_cell(
-                spec, artifact_cache=ArtifactCache() if cache else None
+                spec,
+                artifact_cache=(
+                    ArtifactCache(directory=cache_dir) if cache else None
+                ),
             )
     return payload, time.perf_counter() - start
 

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import math
 import os
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -68,3 +69,63 @@ class ExperimentResult:
     def column(self, name: str) -> List:
         """Extract one column across all rows (missing values become None)."""
         return [row.get(name) for row in self.rows]
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def aggregate_seed_results(
+    results: Sequence[ExperimentResult], seeds: Sequence[int]
+) -> ExperimentResult:
+    """Merge per-seed replications of one experiment into mean ± std cells.
+
+    Every result must come from the same experiment grid, differing only in
+    the root seed, so rows align positionally: columns whose values agree
+    across all seeds — key columns (dataset, model, method, …) and constant
+    numeric descriptors (e.g. node counts) — are kept verbatim, while
+    varying numeric columns are replaced by ``"mean ± std"`` strings (the
+    population std over seeds).  Non-numeric columns that disagree across
+    seeds are an error.  The per-seed numeric rows are preserved under
+    ``metadata["rows_by_seed"]`` so downstream consumers keep full numeric
+    access.
+    """
+    results = list(results)
+    if not results:
+        raise ValueError("aggregate_seed_results needs at least one result")
+    if len(results) != len(seeds):
+        raise ValueError("one result per seed required")
+    first = results[0]
+    for other in results[1:]:
+        if other.experiment != first.experiment:
+            raise ValueError("cannot aggregate results of different experiments")
+        if len(other.rows) != len(first.rows):
+            raise ValueError(
+                "seed replications produced differently shaped grids "
+                f"({len(first.rows)} vs {len(other.rows)} rows)"
+            )
+
+    rows: List[Dict] = []
+    for index, template in enumerate(first.rows):
+        merged: Dict = {}
+        for column, value in template.items():
+            values = [result.rows[index].get(column) for result in results]
+            if all(v == value for v in values):
+                merged[column] = value
+            elif all(_is_numeric(v) for v in values):
+                mean = sum(values) / len(values)
+                variance = sum((v - mean) ** 2 for v in values) / len(values)
+                merged[column] = f"{mean:.4f} ± {math.sqrt(variance):.4f}"
+            else:
+                raise ValueError(
+                    f"non-numeric column {column!r} disagrees across seeds "
+                    f"in row {index}"
+                )
+        rows.append(merged)
+
+    metadata = dict(first.metadata)
+    metadata["seeds"] = [int(seed) for seed in seeds]
+    metadata["rows_by_seed"] = {
+        str(seed): result.rows for seed, result in zip(seeds, results)
+    }
+    return ExperimentResult(first.experiment, rows, metadata)

@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Optional, Sequence, Union
 
 from repro.experiments import figures, tables
 from repro.experiments.grid import GridRunner
 from repro.experiments.presets import ExperimentPreset
-from repro.experiments.reporting import ExperimentResult
+from repro.experiments.reporting import ExperimentResult, aggregate_seed_results
 
 ExperimentFunction = Callable[..., ExperimentResult]
 
@@ -44,3 +44,31 @@ def run_experiment(
             f"unknown experiment {name!r}; available: {', '.join(sorted(EXPERIMENTS))}"
         )
     return EXPERIMENTS[key](preset=preset, seed=seed, runner=runner, **kwargs)
+
+
+def run_experiment_seeds(
+    name: str,
+    seeds: Sequence[int],
+    preset: Union[str, ExperimentPreset] = "quick",
+    runner: Optional[GridRunner] = None,
+    **kwargs,
+) -> ExperimentResult:
+    """Replicate one experiment across ``seeds`` and report mean ± std cells.
+
+    The grid engine makes seed replication a one-line spec expansion: each
+    seed runs the same declared grid (sharing the runner's caches, so
+    cross-experiment cell reuse still applies), and the per-seed rows are
+    merged by :func:`~repro.experiments.reporting.aggregate_seed_results` —
+    numeric columns become ``"mean ± std"`` strings, per-seed numerics stay
+    available under ``metadata["rows_by_seed"]``.
+    """
+    seeds = [int(seed) for seed in seeds]
+    if not seeds:
+        raise ValueError("seeds must be non-empty")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be distinct")
+    results = [
+        run_experiment(name, preset=preset, seed=seed, runner=runner, **kwargs)
+        for seed in seeds
+    ]
+    return aggregate_seed_results(results, seeds)

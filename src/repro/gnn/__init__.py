@@ -16,6 +16,7 @@ from repro.gnn.normalization import (
     row_normalize_features,
 )
 from repro.gnn.sampling import BatchSpec, NeighborSampler, SampledBlock, block_propagation
+from repro.gnn.inference import ego_logits, resolve_fanouts, sampler_for
 from repro.gnn.trainer import Trainer, TrainConfig, TrainResult
 from repro.gnn.evaluation import evaluate_accuracy, predict_probabilities, predict_labels
 
@@ -43,4 +44,7 @@ __all__ = [
     "NeighborSampler",
     "SampledBlock",
     "block_propagation",
+    "ego_logits",
+    "resolve_fanouts",
+    "sampler_for",
 ]

@@ -287,13 +287,7 @@ class NeighborSampler:
         ``src_nodes`` (self-loop / self-feature access), followed by the
         newly reached neighbours in ascending global id.
         """
-        dst = np.asarray(dst_nodes, dtype=np.int64)
-        if dst.size and (dst.min() < 0 or dst.max() >= self.num_nodes):
-            raise ValueError("destination node index out of bounds")
-        if np.unique(dst).size != dst.size:
-            # A duplicated destination would appear twice in the source set,
-            # making the global→local relabelling ambiguous.
-            raise ValueError("dst_nodes must not contain duplicates")
+        dst = self._check_dst(dst_nodes)
         sliced = self.csr.slice_rows(dst)  # (D, N): full rows, global columns
         if fanout is not None:
             if fanout <= 0:
@@ -301,6 +295,69 @@ class NeighborSampler:
             if rng is None:
                 raise ValueError("sampled fanouts need a random generator")
             sliced = _subsample_rows(sliced, fanout, rng)
+        return self._assemble_block(dst, sliced)
+
+    def sample_layer_keyed(
+        self, dst_nodes: np.ndarray, fanout: Optional[int], key: int
+    ) -> SampledBlock:
+        """Sample one layer's block with *per-destination* deterministic keys.
+
+        Each destination row keeps the ``fanout`` neighbours with the smallest
+        SplitMix64 priorities of ``(key, dst, neighbour)`` — a pure function
+        of the node and the key, independent of which other destinations
+        share the batch.  The serving engine uses this so a node's sampled
+        prediction does not depend on request coalescing (and therefore stays
+        cacheable and reproducible); ``fanout=None`` is exhaustive as usual.
+        """
+        dst = self._check_dst(dst_nodes)
+        sliced = self.csr.slice_rows(dst)
+        if fanout is not None:
+            if fanout <= 0:
+                raise ValueError("fanout must be positive or None (exhaustive)")
+            entry_dst = np.repeat(dst, np.diff(sliced.indptr))
+            keys = _hash_keys(key, entry_dst, sliced.indices)
+            sliced = _select_rows_by_key(sliced, fanout, keys)
+        return self._assemble_block(dst, sliced)
+
+    def ego_blocks(
+        self,
+        nodes: np.ndarray,
+        fanouts: Sequence[Optional[int]],
+        key: int = 0,
+    ) -> List[SampledBlock]:
+        """The full layer stack of the k-hop ego graph of ``nodes``.
+
+        Like :meth:`sample_blocks` but with the keyed per-destination sampler
+        (layer index mixed into the key), so the blocks are a pure function of
+        ``(nodes, fanouts, key)`` — the inference-side counterpart of the
+        training-side ``(seed, epoch, batch_index)`` contract.  With
+        ``fanouts`` all-``None`` this is the exact receptive field and the
+        forward equals the full-graph forward on ``nodes``.
+        """
+        fanouts = tuple(fanouts)
+        blocks: List[SampledBlock] = []
+        dst = np.asarray(nodes, dtype=np.int64)
+        for depth, fanout in enumerate(reversed(fanouts)):
+            layer_index = len(fanouts) - 1 - depth
+            block = self.sample_layer_keyed(
+                dst, fanout, key=(int(key) << 8) ^ layer_index
+            )
+            blocks.append(block)
+            dst = block.src_nodes
+        blocks.reverse()
+        return blocks
+
+    def _check_dst(self, dst_nodes: np.ndarray) -> np.ndarray:
+        dst = np.asarray(dst_nodes, dtype=np.int64)
+        if dst.size and (dst.min() < 0 or dst.max() >= self.num_nodes):
+            raise ValueError("destination node index out of bounds")
+        if np.unique(dst).size != dst.size:
+            # A duplicated destination would appear twice in the source set,
+            # making the global→local relabelling ambiguous.
+            raise ValueError("dst_nodes must not contain duplicates")
+        return dst
+
+    def _assemble_block(self, dst: np.ndarray, sliced: CSRMatrix) -> SampledBlock:
         counts = np.diff(sliced.indptr)
         rows_local = np.repeat(np.arange(dst.size, dtype=np.int64), counts)
         cols_global = sliced.indices
@@ -347,35 +404,72 @@ class NeighborSampler:
         return blocks
 
 
+def _select_rows_by_key(sliced: CSRMatrix, fanout: int, keys: np.ndarray) -> CSRMatrix:
+    """Keep the ``fanout`` smallest-key entries of every row (vectorised).
+
+    The shared top-k kernel behind both fanout samplers: given one sort key
+    per stored entry, each row keeps its ``min(fanout, degree)`` entries with
+    the smallest keys — for i.i.d. uniform keys that is a uniform
+    without-replacement subset; for hash-derived keys it is a deterministic
+    priority sample.  One ``lexsort`` over (row, key) replaces the historical
+    per-row ``rng.choice`` python loop; kept entries are re-emitted in their
+    original ascending-column order.
+    """
+    counts = np.diff(sliced.indptr)
+    if counts.size == 0 or counts.max(initial=0) <= fanout:
+        return sliced
+    rows = np.repeat(np.arange(sliced.shape[0], dtype=np.int64), counts)
+    order = np.lexsort((keys, rows))
+    # lexsort keeps each row's entries inside its own [indptr[r], indptr[r+1])
+    # segment, so the within-row rank of sorted position p is p - row_start.
+    ranks = np.arange(keys.size, dtype=np.int64) - np.repeat(
+        sliced.indptr[:-1], counts
+    )
+    flat = np.sort(order[ranks < fanout])  # back to row-major / ascending cols
+    new_counts = np.minimum(counts, fanout)
+    indptr = np.zeros(sliced.shape[0] + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=indptr[1:])
+    return CSRMatrix(indptr, sliced.indices[flat], sliced.data[flat], sliced.shape)
+
+
 def _subsample_rows(sliced: CSRMatrix, fanout: int, rng: np.random.Generator) -> CSRMatrix:
     """Per-row neighbour subsampling of a row-sliced block (without replacement).
 
     Rows with at most ``fanout`` entries are kept whole (degree < fanout is
-    the common case on the paper's sparse graphs); larger rows draw a
-    ``fanout``-subset with ``rng``.  Consumes one ``rng.choice`` per
-    oversized row, in row order — the stream is therefore a deterministic
-    function of the block structure and the generator state.
+    the common case on the paper's sparse graphs); larger rows keep a uniform
+    ``fanout``-subset.  The subset is chosen by ranking one uniform draw per
+    stored entry — a single ``rng.random(nnz)`` call plus the vectorised
+    top-k kernel — so the sample remains a pure function of the block
+    structure and the generator state, just through a different (documented,
+    golden-pinned) stream than the historical per-row ``rng.choice`` loop.
     """
     counts = np.diff(sliced.indptr)
-    keep_positions: List[np.ndarray] = []
-    new_counts = np.minimum(counts, fanout)
-    for row in range(sliced.shape[0]):
-        start, stop = int(sliced.indptr[row]), int(sliced.indptr[row + 1])
-        degree = stop - start
-        if degree == 0:
-            continue
-        if degree <= fanout:
-            keep_positions.append(np.arange(start, stop, dtype=np.int64))
-        else:
-            chosen = rng.choice(degree, size=fanout, replace=False)
-            chosen.sort()
-            keep_positions.append(start + chosen.astype(np.int64))
-    if keep_positions:
-        flat = np.concatenate(keep_positions)
-        indices, data = sliced.indices[flat], sliced.data[flat]
-    else:
-        indices = np.empty(0, dtype=np.int64)
-        data = np.empty(0, dtype=np.float64)
-    indptr = np.zeros(sliced.shape[0] + 1, dtype=np.int64)
-    np.cumsum(new_counts, out=indptr[1:])
-    return CSRMatrix(indptr, indices, data, sliced.shape)
+    if counts.size == 0 or counts.max(initial=0) <= fanout:
+        return sliced
+    return _select_rows_by_key(sliced, fanout, rng.random(sliced.indices.size))
+
+
+_MIX_CONST_A = np.uint64(0x9E3779B97F4A7C15)
+_MIX_CONST_B = np.uint64(0xBF58476D1CE4E5B9)
+_MIX_CONST_C = np.uint64(0x94D049BB133111EB)
+
+
+def _mix64(x: np.ndarray) -> np.ndarray:
+    """SplitMix64 finaliser: a cheap, high-quality 64-bit mixing function."""
+    x = (x + _MIX_CONST_A).astype(np.uint64)
+    x = (x ^ (x >> np.uint64(30))) * _MIX_CONST_B
+    x = (x ^ (x >> np.uint64(27))) * _MIX_CONST_C
+    return x ^ (x >> np.uint64(31))
+
+
+def _hash_keys(key: int, dst_rows: np.ndarray, cols: np.ndarray) -> np.ndarray:
+    """Per-entry sort keys derived from ``(key, dst node, neighbour)`` only.
+
+    Unlike generator-drawn keys, these are independent of batch composition:
+    a destination node keeps the *same* sampled neighbourhood no matter which
+    other nodes share its request batch — the property that makes sampled
+    online serving deterministic, cache-coherent and batcher-independent.
+    """
+    base = _mix64(np.array([key & 0xFFFFFFFFFFFFFFFF], dtype=np.uint64))[0]
+    mixed = _mix64(dst_rows.astype(np.uint64) ^ base)
+    return _mix64(mixed ^ cols.astype(np.uint64))

@@ -53,6 +53,15 @@ class TrainConfig:
     full-graph evaluation epochs (early stopping only ticks on evaluated
     epochs).  With ``batch_size=None`` (the default) the original
     full-batch path runs unchanged.
+
+    ``sampled_eval`` routes the periodic train/val evaluation through the
+    serving engine's ego-block path (:mod:`repro.gnn.inference`): instead of
+    a Θ(N + m) full-graph forward, only the exhaustive receptive field of
+    the labelled train/val nodes is computed, making the whole epoch loop
+    independent of the unlabelled graph size.  Exhaustive ego blocks equal
+    the full-graph forward to 1e-8, so accuracies (and therefore early
+    stopping) are unchanged up to round-off; models without a sampled
+    forward path (GAT) fall back to full-graph evaluation transparently.
     """
 
     epochs: int = 200
@@ -67,6 +76,7 @@ class TrainConfig:
     fanouts: Optional[Tuple[Optional[int], ...]] = None
     batch_seed: int = 0
     eval_interval: int = 1
+    sampled_eval: bool = False
 
     def __post_init__(self) -> None:
         if self.epochs <= 0:
@@ -207,6 +217,17 @@ class Trainer:
                 weight_lookup = np.zeros(graph.num_nodes, dtype=np.float64)
                 weight_lookup[train_idx] = sample_weights
 
+        # Lazily-built ego-block evaluation state (sampled_eval): one sampler
+        # per fit() call over the evaluation structure, shared across epochs.
+        eval_state: Dict[str, object] = {}
+        if config.sampled_eval and self.model.message_passing_layers is not None:
+            eval_structure = (
+                graph.csr()
+                if adjacency_override is None
+                else CSRMatrix.from_dense(adjacency)
+            )
+            eval_state["sampler"] = NeighborSampler(eval_structure, seed=0)
+
         optimizer = self._build_optimizer()
         history: Dict[str, List[float]] = {
             "loss": [],
@@ -241,7 +262,7 @@ class Trainer:
                 or epoch == total_epochs - 1
             )
             if evaluated:
-                train_acc, val_acc = self._evaluate_epoch(graph, adjacency)
+                train_acc, val_acc = self._evaluate_epoch(graph, adjacency, eval_state)
             else:
                 train_acc = val_acc = float("nan")
             history["loss"].append(loss_value)
@@ -323,6 +344,7 @@ class Trainer:
             fanouts=original_config.fanouts,
             batch_seed=original_config.batch_seed,
             eval_interval=original_config.eval_interval,
+            sampled_eval=original_config.sampled_eval,
         )
         try:
             return self.fit(
@@ -420,11 +442,43 @@ class Trainer:
             total_nodes += int(seeds.size)
         return total_loss / max(total_nodes, 1)
 
-    def _evaluate_epoch(self, graph: Graph, adjacency: np.ndarray) -> tuple[float, float]:
+    def _evaluate_epoch(
+        self,
+        graph: Graph,
+        adjacency: np.ndarray,
+        eval_state: Optional[Dict[str, object]] = None,
+    ) -> tuple[float, float]:
+        sampler = (eval_state or {}).get("sampler")
+        if sampler is not None:
+            return self._evaluate_sampled(graph, sampler)
         logits = self.model.predict_logits(graph.features, adjacency)
         train_acc = accuracy(logits[graph.train_mask], graph.labels[graph.train_mask])
         if graph.val_mask is not None and graph.val_mask.any():
             val_acc = accuracy(logits[graph.val_mask], graph.labels[graph.val_mask])
+        else:
+            val_acc = float("nan")
+        return train_acc, val_acc
+
+    def _evaluate_sampled(self, graph: Graph, sampler) -> tuple[float, float]:
+        """Ego-block evaluation: exhaustive receptive field of train/val only.
+
+        Train and validation nodes share one block stack (they are disjoint
+        by the split construction), so the evaluation costs one sampled
+        forward over their union's receptive field instead of Θ(N).
+        """
+        from repro.gnn.inference import ego_logits
+
+        train_idx = graph.train_indices()
+        val_idx = (
+            graph.val_indices()
+            if graph.val_mask is not None and graph.val_mask.any()
+            else np.empty(0, dtype=np.int64)
+        )
+        nodes = np.concatenate([train_idx, val_idx])
+        logits = ego_logits(self.model, graph.features, sampler, nodes)
+        train_acc = accuracy(logits[: train_idx.size], graph.labels[train_idx])
+        if val_idx.size:
+            val_acc = accuracy(logits[train_idx.size :], graph.labels[val_idx])
         else:
             val_acc = float("nan")
         return train_acc, val_acc

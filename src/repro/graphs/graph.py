@@ -100,6 +100,30 @@ class Graph:
         self._csr_cache = None
         return self._revision
 
+    def attach_csr(self, matrix) -> None:
+        """Install an externally maintained CSR view of the current structure.
+
+        The incremental-update path (``repro.serve.GraphSession``) edits CSR
+        structure directly instead of round-tripping through the dense array;
+        after mutating ``adjacency`` in place and calling
+        :meth:`bump_revision`, it attaches the spliced CSR here so
+        :meth:`csr` keeps serving an O(m) view instead of rebuilding from the
+        dense matrix.  The caller guarantees ``matrix`` equals the dense
+        structure; the matrix is tagged with the current revision so operator
+        caches treat both representations as one structure.
+        """
+        from repro.sparse.csr import CSRMatrix
+
+        if not isinstance(matrix, CSRMatrix):
+            raise TypeError("attach_csr expects a CSRMatrix")
+        if matrix.shape != self.adjacency.shape:
+            raise ValueError(
+                f"CSR shape {matrix.shape} does not match adjacency "
+                f"{self.adjacency.shape}"
+            )
+        tag_adjacency(matrix, revision=self._revision, owned=True)
+        self._csr_cache = (self._revision, matrix)
+
     def csr(self):
         """CSR view of the adjacency, cached per :attr:`revision`.
 
@@ -118,6 +142,23 @@ class Graph:
         tag_adjacency(matrix, revision=self._revision, owned=True)
         self._csr_cache = (self._revision, matrix)
         return matrix
+
+    # ------------------------------------------------------------------ #
+    # Pickling
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> Dict:
+        state = dict(self.__dict__)
+        # Revisions are process-local counter values; a pickled one would
+        # collide with unrelated structures in the loading process.  Drop the
+        # CSR cache with it (it is keyed by the stale revision).
+        state.pop("_revision", None)
+        state.pop("_csr_cache", None)
+        return state
+
+    def __setstate__(self, state: Dict) -> None:
+        self.__dict__.update(state)
+        self._revision = tag_adjacency(self.adjacency, owned=True)
+        self._csr_cache = None
 
     # ------------------------------------------------------------------ #
     # Basic properties

@@ -1,0 +1,43 @@
+"""Online inference serving: model registry, prediction engine, live graph.
+
+The offline side of the library trains and evaluates; this package serves.
+Its four pieces compose into a minimal but complete online system:
+
+* :class:`~repro.serve.registry.ModelRegistry` — versioned on-disk store of
+  trained models + architecture/graph/settings metadata;
+* :class:`~repro.serve.session.GraphSession` — the mutable serving graph:
+  incremental ``add_edges`` / ``remove_edges`` / ``add_node`` with
+  revision bumps and change notification;
+* :class:`~repro.serve.engine.InferenceEngine` — sampled k-hop (or
+  exhaustive) per-node prediction with a revision-keyed logit cache and
+  k-hop dirty-set invalidation;
+* :class:`~repro.serve.batching.RequestBatcher` — micro-batch coalescing of
+  queued requests, one shared block stack per batch.
+
+``python -m repro.serve`` exposes the train/register/serve loop on the
+command line.
+"""
+
+from repro.serve.batching import BatcherStats, RequestBatcher
+from repro.serve.engine import (
+    InferenceEngine,
+    LogitCache,
+    LogitCacheStats,
+    ServeConfig,
+)
+from repro.serve.registry import ModelRegistry, graph_fingerprint, model_signature
+from repro.serve.session import GraphSession, MutationEvent
+
+__all__ = [
+    "BatcherStats",
+    "RequestBatcher",
+    "InferenceEngine",
+    "LogitCache",
+    "LogitCacheStats",
+    "ServeConfig",
+    "ModelRegistry",
+    "graph_fingerprint",
+    "model_signature",
+    "GraphSession",
+    "MutationEvent",
+]

@@ -1,0 +1,167 @@
+"""Request batching: coalesce queued predictions into shared block stacks.
+
+A read-heavy serving workload arrives one node at a time, but the inference
+engine's cost is dominated by per-call overhead (block extraction + one
+forward): answering K queued requests as a single micro-batch shares one
+sampled block stack across all of them.  :class:`RequestBatcher` provides
+that coalescing:
+
+* :meth:`submit` enqueues a request and returns a
+  :class:`concurrent.futures.Future`;
+* a drain loop (inline :meth:`flush`, or the background thread started by
+  :meth:`start`) pops up to ``max_batch_size`` queued requests, answers them
+  with **one** engine call, and resolves their futures;
+* duplicate nodes inside a batch are computed once (the engine deduplicates
+  and the cache serves repeats).
+
+Because engine results are pure functions of ``(node, session version,
+engine seed)`` — exhaustive *and* keyed-sampled modes alike — the responses
+are independent of how requests happen to be coalesced: any number of
+submitting threads, any drain interleaving, same answers.  The batcher
+determinism test drives exactly that scenario.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+import numpy as np
+
+from repro.serve.engine import InferenceEngine
+
+__all__ = ["BatcherStats", "RequestBatcher"]
+
+
+@dataclass(frozen=True)
+class BatcherStats:
+    """Throughput bookkeeping of a :class:`RequestBatcher`."""
+
+    requests: int
+    batches: int
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+class RequestBatcher:
+    """Coalesces prediction requests into micro-batches over one engine."""
+
+    def __init__(self, engine: InferenceEngine, max_batch_size: int = 64) -> None:
+        if max_batch_size <= 0:
+            raise ValueError("max_batch_size must be positive")
+        self.engine = engine
+        self.max_batch_size = int(max_batch_size)
+        self._queue: "Deque[Tuple[int, Future]]" = deque()
+        self._lock = threading.Lock()
+        self._wakeup = threading.Event()
+        self._stop = threading.Event()
+        self._worker: Optional[threading.Thread] = None
+        self._requests = 0
+        self._batches = 0
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def submit(self, node: int) -> Future:
+        """Enqueue a prediction request; resolves to the node's proba row.
+
+        The node index is validated here so one bad request fails alone
+        instead of poisoning every other request coalesced into its batch.
+        """
+        node = int(node)
+        future: Future = Future()
+        if not 0 <= node < self.engine.session.num_nodes:
+            future.set_exception(
+                ValueError(f"node index {node} out of bounds")
+            )
+            return future
+        with self._lock:
+            self._queue.append((node, future))
+            self._requests += 1
+        self._wakeup.set()
+        return future
+
+    def predict(self, node: int, timeout: Optional[float] = None) -> np.ndarray:
+        """Blocking convenience wrapper around :meth:`submit`.
+
+        Requires a running background drain loop (:meth:`start`) — calling it
+        without one deadlocks by construction.
+        """
+        return self.submit(node).result(timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Draining
+    # ------------------------------------------------------------------ #
+    def flush(self) -> int:
+        """Drain the queue inline; returns the number of answered requests."""
+        answered = 0
+        while True:
+            batch = self._pop_batch()
+            if not batch:
+                return answered
+            self._answer(batch)
+            answered += len(batch)
+
+    def start(self) -> "RequestBatcher":
+        """Run the drain loop on a daemon thread (idempotent)."""
+        with self._lock:
+            if self._worker is not None:
+                return self
+            self._stop.clear()
+            self._worker = threading.Thread(target=self._drain_loop, daemon=True)
+        self._worker.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the background loop after draining outstanding requests."""
+        with self._lock:
+            worker = self._worker
+            self._worker = None
+        if worker is None:
+            return
+        self._stop.set()
+        self._wakeup.set()
+        worker.join()
+        self.flush()
+
+    @property
+    def stats(self) -> BatcherStats:
+        with self._lock:
+            return BatcherStats(requests=self._requests, batches=self._batches)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _pop_batch(self) -> List[Tuple[int, Future]]:
+        with self._lock:
+            if not self._queue:
+                return []
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.max_batch_size, len(self._queue)))
+            ]
+            self._batches += 1
+            return batch
+
+    def _answer(self, batch: List[Tuple[int, Future]]) -> None:
+        nodes = np.asarray([node for node, _ in batch], dtype=np.int64)
+        try:
+            rows = self.engine.predict_proba(nodes)
+        except Exception as error:  # pragma: no cover - propagated to callers
+            for _, future in batch:
+                future.set_exception(error)
+            return
+        for (_, future), row in zip(batch, rows):
+            future.set_result(row)
+
+    def _drain_loop(self) -> None:
+        while not self._stop.is_set():
+            self._wakeup.wait(timeout=0.05)
+            self._wakeup.clear()
+            self.flush()
+        self.flush()

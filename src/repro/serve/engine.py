@@ -1,0 +1,314 @@
+"""Online inference engine: sampled k-hop prediction with a logit cache.
+
+The engine answers per-node prediction requests against a
+:class:`~repro.serve.session.GraphSession`:
+
+* misses are computed through the shared ego-block path
+  (:mod:`repro.gnn.inference`): one block stack per miss batch, cost bounded
+  by ``O(|batch| · Π fanouts)`` (or the exact receptive field when
+  exhaustive) instead of Θ(N + m) per request;
+* hits are served from a revision-keyed LRU **logit cache** — an entry is
+  valid only for the structure revision it was computed under, so a stale
+  prediction can never be returned;
+* on a session mutation the engine computes the **k-hop dirty set** of the
+  touched endpoints with the shared frontier kernels
+  (:func:`repro.graphs.khop.khop_frontier`, over both the old and the new
+  structure — edge removals invalidate through paths that no longer exist)
+  and drops exactly those entries; every other entry is revalidated to the
+  new revision, which is what keeps the warm hit-rate high under a stream of
+  localised updates.
+
+Sampled serving uses the keyed per-destination sampler with
+``key = (seed, session.version)``: a node's sampled prediction is a pure
+function of the node, the mutation history and the engine seed — identical
+across request batchings, thread interleavings and processes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.gnn.inference import resolve_fanouts
+from repro.gnn.models import GNNModel
+from repro.gnn.sampling import NeighborSampler
+from repro.graphs.khop import khop_frontier
+from repro.serve.session import GraphSession, MutationEvent
+
+__all__ = ["ServeConfig", "LogitCacheStats", "LogitCache", "InferenceEngine"]
+
+DEFAULT_FALLBACK_HOPS = 2
+"""Dirty-set radius for models without a declared sampled depth (GAT)."""
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Behaviour of one :class:`InferenceEngine`.
+
+    ``fanouts=None`` (default) serves *exhaustively* — exact logits, equal to
+    the offline full-graph forward to 1e-8.  Integer per-layer fanouts bound
+    each request's receptive field for approximate low-latency serving.
+    ``seed`` keys the deterministic sampler; ``cache_size`` bounds the logit
+    LRU (``cache=False`` disables caching entirely).
+    """
+
+    fanouts: Optional[Tuple[Optional[int], ...]] = None
+    seed: int = 0
+    cache: bool = True
+    cache_size: int = 65536
+
+    def __post_init__(self) -> None:
+        if self.cache_size <= 0:
+            raise ValueError("cache_size must be positive")
+        if self.fanouts is not None:
+            object.__setattr__(self, "fanouts", tuple(self.fanouts))
+            for fanout in self.fanouts:
+                if fanout is not None and fanout <= 0:
+                    raise ValueError("fanouts must be positive or None (exhaustive)")
+
+
+@dataclass(frozen=True)
+class LogitCacheStats:
+    """Counters of a :class:`LogitCache`."""
+
+    hits: int
+    misses: int
+    invalidated: int
+    size: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LogitCache:
+    """Thread-safe revision-keyed LRU of per-node logit rows.
+
+    Entries are ``node → (revision, row)``; a lookup under a different
+    revision is a miss (the row was computed over different structure).
+    :meth:`invalidate` drops the dirty nodes and *revalidates* every
+    surviving entry to the new revision — sound because the caller derived
+    the dirty set as the complete set of nodes whose receptive field saw the
+    mutation.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._entries: "OrderedDict[int, Tuple[int, np.ndarray]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidated = 0
+
+    def lookup(
+        self, nodes: Iterable[int], revision: int
+    ) -> Tuple[Dict[int, np.ndarray], List[int]]:
+        """Split ``nodes`` into cached rows and misses, under ``revision``."""
+        found: Dict[int, np.ndarray] = {}
+        missing: List[int] = []
+        with self._lock:
+            for node in nodes:
+                entry = self._entries.get(node)
+                if entry is not None and entry[0] == revision:
+                    self._entries.move_to_end(node)
+                    self._hits += 1
+                    found[node] = entry[1]
+                else:
+                    self._misses += 1
+                    missing.append(node)
+        return found, missing
+
+    def store(self, nodes: Sequence[int], revision: int, rows: np.ndarray) -> None:
+        with self._lock:
+            for node, row in zip(nodes, rows):
+                self._entries[int(node)] = (revision, row)
+                self._entries.move_to_end(int(node))
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def invalidate(
+        self,
+        dirty_nodes: np.ndarray,
+        new_revision: int,
+        expected_revision: Optional[int] = None,
+    ) -> int:
+        """Drop dirty entries, revalidate the rest; returns the drop count.
+
+        ``expected_revision`` is the pre-mutation revision: entries stored
+        under any *other* revision are dropped instead of revalidated.  Such
+        entries exist only through the store/mutate race (a miss computed
+        over the old structure landing after the mutation's invalidation
+        ran); revalidating them would resurrect a stale row one mutation
+        later.
+        """
+        dirty = set(int(node) for node in np.asarray(dirty_nodes).reshape(-1))
+        dropped = 0
+        with self._lock:
+            for node in list(self._entries):
+                revision, row = self._entries[node]
+                stale = (
+                    expected_revision is not None and revision != expected_revision
+                )
+                if node in dirty or stale:
+                    del self._entries[node]
+                    dropped += 1
+                else:
+                    self._entries[node] = (new_revision, row)
+            self._invalidated += dropped
+        return dropped
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    @property
+    def stats(self) -> LogitCacheStats:
+        with self._lock:
+            return LogitCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidated=self._invalidated,
+                size=len(self._entries),
+            )
+
+
+class InferenceEngine:
+    """Serves single-node and batched predictions over a graph session."""
+
+    def __init__(
+        self,
+        model: GNNModel,
+        session: GraphSession,
+        config: Optional[ServeConfig] = None,
+    ) -> None:
+        self.model = model
+        self.session = session
+        self.config = config or ServeConfig()
+        self._layers = model.message_passing_layers
+        if self._layers is not None:
+            self._fanouts = resolve_fanouts(model, self.config.fanouts)
+        else:
+            # No sampled path (GAT): misses fall back to one full-graph
+            # forward per miss batch; the cache still applies.
+            if self.config.fanouts is not None:
+                raise ValueError(
+                    f"{type(model).__name__} has no sampled forward path; "
+                    "fanouts are not supported"
+                )
+            self._fanouts = None
+        self._cache = LogitCache(self.config.cache_size) if self.config.cache else None
+        self._sampler = self._build_sampler()
+        self._lock = threading.Lock()
+        self._last_revision = session.revision
+        session.add_listener(self._on_mutation)
+
+    # ------------------------------------------------------------------ #
+    # Prediction API
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, nodes) -> np.ndarray:
+        """Logit rows for ``nodes`` (scalar, sequence or array; order kept)."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if nodes.ndim != 1:
+            raise ValueError("nodes must be a scalar or a 1-D index array")
+        if nodes.size == 0:
+            raise ValueError("nodes must be non-empty")
+        if nodes.min() < 0 or nodes.max() >= self.session.num_nodes:
+            raise ValueError("node index out of bounds")
+        unique = np.unique(nodes)
+        revision = self.session.revision
+        if self._cache is not None:
+            found, missing = self._cache.lookup(unique.tolist(), revision)
+        else:
+            found, missing = {}, unique.tolist()
+        if missing:
+            miss_nodes = np.asarray(missing, dtype=np.int64)
+            if self._layers is None:
+                # Full-graph fallback (GAT): the forward produced every row
+                # anyway, so cache them all — one Θ(N²) forward amortises
+                # over the whole node set instead of one miss batch.
+                full = self.model.predict_logits(
+                    self.session.features, self.session.csr
+                )
+                if self._cache is not None:
+                    self._cache.store(range(full.shape[0]), revision, full)
+                rows = full[miss_nodes]
+            else:
+                rows = self._compute(miss_nodes)
+                if self._cache is not None:
+                    self._cache.store(missing, revision, rows)
+            for node, row in zip(missing, rows):
+                found[int(node)] = row
+        return np.stack([found[int(node)] for node in nodes])
+
+    def predict_proba(self, nodes) -> np.ndarray:
+        """Softmax posteriors (the payload an online client receives)."""
+        logits = self.predict_logits(nodes)
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict_labels(self, nodes) -> np.ndarray:
+        """Hard label predictions for ``nodes``."""
+        return self.predict_logits(nodes).argmax(axis=1)
+
+    @property
+    def cache_stats(self) -> Optional[LogitCacheStats]:
+        return None if self._cache is None else self._cache.stats
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _build_sampler(self) -> Optional[NeighborSampler]:
+        if self._layers is None:
+            return None
+        return NeighborSampler(self.session.csr, seed=self.config.seed)
+
+    def _sampling_key(self) -> int:
+        # Deterministic across processes: the session version counts
+        # mutations from zero, unlike process-global revision ids.
+        return (self.config.seed << 20) ^ self.session.version
+
+    def _compute(self, nodes: np.ndarray) -> np.ndarray:
+        with self._lock:
+            sampler = self._sampler
+        blocks = sampler.ego_blocks(nodes, self._fanouts, key=self._sampling_key())
+        return self.model.predict_logits_blocks(self.session.features, blocks)
+
+    def _on_mutation(self, event: MutationEvent) -> None:
+        hops = self._layers if self._layers is not None else DEFAULT_FALLBACK_HOPS
+        with self._lock:
+            self._sampler = (
+                NeighborSampler(event.new_csr, seed=self.config.seed)
+                if self._layers is not None
+                else None
+            )
+            expected = self._last_revision
+            self._last_revision = event.revision
+        if self._cache is None:
+            return
+        if event.endpoints.size == 0:
+            self._cache.invalidate(
+                np.empty(0, dtype=np.int64),
+                event.revision,
+                expected_revision=expected,
+            )
+            return
+        # Receptive fields are L-hop balls; an edge (i, j) participates in
+        # every prediction within L hops of either endpoint.  Removals must
+        # be expanded over the *old* structure too — the invalidation path
+        # may no longer exist in the new one.
+        old_endpoints = event.endpoints[event.endpoints < event.old_csr.shape[0]]
+        dirty_old = khop_frontier(event.old_csr, old_endpoints, hops)
+        dirty_new = khop_frontier(event.new_csr, event.endpoints, hops)
+        self._cache.invalidate(
+            np.union1d(dirty_old, dirty_new),
+            event.revision,
+            expected_revision=expected,
+        )

@@ -10,6 +10,8 @@ table/figure pipeline runs unmodified on either backend.
 
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import (
+    append_empty_node_csr,
+    apply_edge_updates_csr,
     binary_neighborhoods_csr,
     gather_neighbor_positions,
     gather_neighbors,
@@ -62,6 +64,8 @@ __all__ = [
     "gather_neighbor_positions",
     "gather_neighbors",
     "induced_subgraph_csr",
+    "apply_edge_updates_csr",
+    "append_empty_node_csr",
     "spmm",
     "spmv",
     "OperatorCache",

@@ -11,6 +11,8 @@ beyond floating-point round-off.
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix, gather_row_positions
@@ -29,6 +31,8 @@ __all__ = [
     "gather_neighbor_positions",
     "gather_neighbors",
     "induced_subgraph_csr",
+    "apply_edge_updates_csr",
+    "append_empty_node_csr",
 ]
 
 INF_HOPS = -1
@@ -263,6 +267,109 @@ def induced_subgraph_csr(adjacency: CSRMatrix, nodes: np.ndarray) -> CSRMatrix:
     return CSRMatrix.from_coo(
         rows, local_cols[keep], sliced.data[keep], (nodes.size, nodes.size)
     )
+
+
+def _directed_pairs(pairs: np.ndarray, num_nodes: int, name: str) -> np.ndarray:
+    """Validate undirected ``(M, 2)`` pairs and expand to both directions."""
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.size == 0:
+        return pairs.reshape(0, 2)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"{name} must have shape (M, 2)")
+    if pairs.min() < 0 or pairs.max() >= num_nodes:
+        raise ValueError(f"{name} indices out of range")
+    if np.any(pairs[:, 0] == pairs[:, 1]):
+        raise ValueError(f"{name} must not contain self-loops")
+    return np.concatenate([pairs, pairs[:, ::-1]], axis=0)
+
+
+def apply_edge_updates_csr(
+    adjacency: CSRMatrix,
+    add_pairs: Optional[np.ndarray] = None,
+    remove_pairs: Optional[np.ndarray] = None,
+    weight: float = 1.0,
+) -> CSRMatrix:
+    """Apply undirected edge additions/removals without a full rebuild.
+
+    The incremental-update kernel behind the serving layer's mutable graph
+    session: only the rows incident to a changed edge are re-assembled (via
+    the shared row-slice/gather machinery); every untouched row's segment is
+    copied wholesale into the spliced output arrays.  Cost is
+    O(nnz + Σ deg(touched)) array traffic with no dense ``(N, N)``
+    materialisation — the thing :meth:`CSRMatrix.from_dense` cannot avoid.
+
+    Adding an edge that already exists keeps its stored weight; removing an
+    absent edge is a no-op (matching :mod:`repro.graphs.perturb`).  Pairs are
+    undirected: each ``(i, j)`` updates both ``(i, j)`` and ``(j, i)``.
+    """
+    _require_square(adjacency, "adjacency")
+    n = adjacency.shape[0]
+    add_dir = _directed_pairs(
+        add_pairs if add_pairs is not None else np.empty((0, 2)), n, "add_pairs"
+    )
+    remove_dir = _directed_pairs(
+        remove_pairs if remove_pairs is not None else np.empty((0, 2)), n, "remove_pairs"
+    )
+    if add_dir.size == 0 and remove_dir.size == 0:
+        return adjacency
+
+    touched = np.unique(np.concatenate([add_dir[:, 0], remove_dir[:, 0]]))
+    sliced = adjacency.slice_rows(touched)  # local rows = position in touched
+
+    # Flat (local_row, col) coordinate keys make membership tests vectorised.
+    old_rows = sliced.row_indices()
+    old_keys = old_rows * n + sliced.indices
+    remove_keys = np.searchsorted(touched, remove_dir[:, 0]) * n + remove_dir[:, 1]
+    keep = ~np.isin(old_keys, remove_keys)
+
+    add_keys = np.unique(np.searchsorted(touched, add_dir[:, 0]) * n + add_dir[:, 1])
+    add_keys = add_keys[~np.isin(add_keys, old_keys[keep])]
+    new_rows = np.concatenate([old_rows[keep], add_keys // n])
+    new_cols = np.concatenate([sliced.indices[keep], add_keys % n])
+    new_data = np.concatenate(
+        [sliced.data[keep], np.full(add_keys.size, float(weight))]
+    )
+    touched_csr = CSRMatrix.from_coo(
+        new_rows, new_cols, new_data, (touched.size, n)
+    )
+
+    # Splice: untouched rows copy their old segments, touched rows take the
+    # freshly assembled ones.  Both sides use the shared flat-gather kernel.
+    counts = np.diff(adjacency.indptr)
+    new_counts = counts.copy()
+    new_counts[touched] = np.diff(touched_csr.indptr)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=indptr[1:])
+    indices = np.empty(indptr[-1], dtype=np.int64)
+    data = np.empty(indptr[-1], dtype=np.float64)
+
+    untouched_mask = np.ones(n, dtype=bool)
+    untouched_mask[touched] = False
+    untouched = np.flatnonzero(untouched_mask)
+    src = gather_row_positions(adjacency.indptr, untouched)
+    dst = gather_row_positions(indptr, untouched)
+    indices[dst] = adjacency.indices[src]
+    data[dst] = adjacency.data[src]
+    # touched_csr is row-major in ascending ``touched`` order, exactly the
+    # order the destination gather visits the touched rows' segments.
+    dst_touched = gather_row_positions(indptr, touched)
+    indices[dst_touched] = touched_csr.indices
+    data[dst_touched] = touched_csr.data
+    return CSRMatrix(indptr, indices, data, (n, n))
+
+
+def append_empty_node_csr(adjacency: CSRMatrix) -> CSRMatrix:
+    """Grow a square CSR adjacency by one isolated node (O(1) array work).
+
+    The new node has index ``N`` and no incident edges; connect it with
+    :func:`apply_edge_updates_csr`.
+    """
+    _require_square(adjacency, "adjacency")
+    n = adjacency.shape[0]
+    indptr = np.empty(n + 2, dtype=np.int64)
+    indptr[:-1] = adjacency.indptr
+    indptr[-1] = adjacency.indptr[-1]
+    return CSRMatrix(indptr, adjacency.indices, adjacency.data, (n + 1, n + 1))
 
 
 def shortest_path_hops_csr(adjacency: CSRMatrix) -> np.ndarray:

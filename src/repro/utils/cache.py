@@ -15,18 +15,34 @@ determinism tests assert exactly this.
 Thread safety: lookups take a single lock; misses build under a *per-key*
 lock so that two workers racing on the same cell train it once, while
 builders for different keys run fully in parallel.
+
+Persistence: constructing the cache with a ``directory`` spills every entry
+to a pickle file under it (atomic tmp-file + rename), and misses consult the
+directory before building — so repeated CLI invocations, process-pool
+workers sharing the directory, and CI reruns reuse trained cells across
+process boundaries.  Keys are content hashes, so a disk hit is exactly as
+deterministic as a memory hit.  Corrupt or unreadable entries (a torn write,
+an incompatible refactor) are deleted and rebuilt transparently; artifacts
+that cannot be pickled are simply kept memory-only.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
+import pickle
+import re
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, fields, is_dataclass
 from typing import Callable, Optional, TypeVar
 
 __all__ = ["CacheStats", "ArtifactCache", "stable_hash"]
+
+_KEY_SANITIZER = re.compile(r"[^A-Za-z0-9._-]")
+
+_MISSING = object()
 
 T = TypeVar("T")
 
@@ -65,6 +81,8 @@ class CacheStats:
     hits: int
     misses: int
     size: int
+    disk_hits: int = 0
+    disk_skipped: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -72,21 +90,80 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - display helper
-        return f"{self.hits} hits / {self.misses} misses ({self.size} entries)"
+        base = f"{self.hits} hits / {self.misses} misses ({self.size} entries)"
+        if self.disk_hits:
+            base += f", {self.disk_hits} from disk"
+        return base
 
 
 class ArtifactCache:
-    """Thread-safe content-keyed store with per-key build deduplication."""
+    """Thread-safe content-keyed store with per-key build deduplication.
 
-    def __init__(self, maxsize: Optional[int] = None) -> None:
+    ``directory`` enables the persistent tier: entries are additionally
+    pickled to ``<directory>/<sanitised key>.pkl`` and read back on misses,
+    extending deduplication across processes and sessions.
+    """
+
+    def __init__(
+        self, maxsize: Optional[int] = None, directory: Optional[str] = None
+    ) -> None:
         if maxsize is not None and maxsize <= 0:
             raise ValueError("maxsize must be positive or None")
         self.maxsize = maxsize
+        self.directory = directory
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._key_locks: dict = {}
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._disk_hits = 0
+        self._disk_skipped = 0
+
+    # ------------------------------------------------------------------ #
+    # Persistent tier
+    # ------------------------------------------------------------------ #
+    def _disk_path(self, key: str) -> str:
+        # Keys are short content hashes with structured prefixes; sanitising
+        # keeps them filesystem-safe without meaningful collision risk.
+        return os.path.join(self.directory, _KEY_SANITIZER.sub("_", key) + ".pkl")
+
+    def _disk_load(self, key: str):
+        """Read a spilled entry; corrupt files are deleted and treated as misses."""
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as handle:
+                value = pickle.load(handle)
+        except FileNotFoundError:
+            return _MISSING
+        except Exception:
+            # Torn write, incompatible refactor, truncated file: recover by
+            # discarding the entry and rebuilding from scratch.
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return _MISSING
+        with self._lock:
+            self._disk_hits += 1
+        return value
+
+    def _disk_store(self, key: str, value) -> None:
+        path = self._disk_path(key)
+        tmp_path = f"{path}.tmp.{os.getpid()}.{threading.get_ident()}"
+        try:
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_path, path)
+        except Exception:
+            # Unpicklable artifact or unwritable disk: stay memory-only.
+            with self._lock:
+                self._disk_skipped += 1
+            try:
+                os.remove(tmp_path)
+            except OSError:
+                pass
 
     def get(self, key: str, default=None):
         """Non-counting lookup (used for peeking; does not touch stats)."""
@@ -94,11 +171,21 @@ class ArtifactCache:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 return self._entries[key]
+        if self.directory is not None:
+            value = self._disk_load(key)
+            if value is not _MISSING:
+                with self._lock:
+                    self._entries[key] = value
+                    self._entries.move_to_end(key)
+                    self._evict_locked()
+                return value
         return default
 
     def contains(self, key: str) -> bool:
         with self._lock:
-            return key in self._entries
+            if key in self._entries:
+                return True
+        return self.directory is not None and os.path.isfile(self._disk_path(key))
 
     def put(self, key: str, value) -> None:
         """Store ``value`` under ``key`` (counts as a miss being filled)."""
@@ -106,13 +193,16 @@ class ArtifactCache:
             self._entries[key] = value
             self._entries.move_to_end(key)
             self._evict_locked()
+        if self.directory is not None:
+            self._disk_store(key, value)
 
     def get_or_create(self, key: str, factory: Callable[[], T]) -> T:
         """Return the artifact under ``key``, building it once on a miss.
 
         Concurrent requests for the same key block on a per-key lock so the
         factory runs exactly once; requests for different keys build in
-        parallel.
+        parallel.  With a persistent directory, the disk tier is consulted
+        under the per-key lock before building (and filled after).
         """
         with self._lock:
             if key in self._entries:
@@ -127,12 +217,22 @@ class ArtifactCache:
                     self._entries.move_to_end(key)
                     return self._entries[key]
             try:
-                value = factory()
+                value = _MISSING
+                if self.directory is not None:
+                    value = self._disk_load(key)
+                loaded_from_disk = value is not _MISSING
+                if not loaded_from_disk:
+                    value = factory()
                 with self._lock:
-                    self._misses += 1
+                    if loaded_from_disk:
+                        self._hits += 1
+                    else:
+                        self._misses += 1
                     self._entries[key] = value
                     self._entries.move_to_end(key)
                     self._evict_locked()
+                if self.directory is not None and not loaded_from_disk:
+                    self._disk_store(key, value)
             finally:
                 # Always drop the per-key lock — a raising factory must not
                 # leak lock entries for every distinct failing key.
@@ -162,7 +262,13 @@ class ArtifactCache:
     @property
     def stats(self) -> CacheStats:
         with self._lock:
-            return CacheStats(hits=self._hits, misses=self._misses, size=len(self._entries))
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._entries),
+                disk_hits=self._disk_hits,
+                disk_skipped=self._disk_skipped,
+            )
 
     def __len__(self) -> int:
         with self._lock:

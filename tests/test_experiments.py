@@ -135,3 +135,94 @@ class TestExperimentsRun:
         assert exit_code == 0
         assert "proposition" in captured.out
         assert (tmp_path / "proposition.json").exists()
+
+
+class TestSeedSweep:
+    """Multi-seed replication with mean ± std reporting (PR-4 satellite)."""
+
+    def _result(self, seed, value):
+        from repro.experiments.reporting import ExperimentResult
+
+        return ExperimentResult(
+            "demo",
+            rows=[
+                {"dataset": "cora", "method": "vanilla", "accuracy": value},
+                {"dataset": "cora", "method": "reg", "accuracy": value - 1.0},
+            ],
+            metadata={"preset": "test"},
+        )
+
+    def test_aggregate_mean_std_cells(self):
+        from repro.experiments.reporting import aggregate_seed_results
+
+        merged = aggregate_seed_results(
+            [self._result(0, 80.0), self._result(1, 84.0)], seeds=[0, 1]
+        )
+        assert merged.rows[0]["dataset"] == "cora"
+        assert merged.rows[0]["accuracy"] == "82.0000 ± 2.0000"
+        assert merged.rows[1]["accuracy"] == "81.0000 ± 2.0000"
+        assert merged.metadata["seeds"] == [0, 1]
+        assert merged.metadata["rows_by_seed"]["1"][0]["accuracy"] == 84.0
+
+    def test_aggregate_keeps_constant_numeric_columns_verbatim(self):
+        from repro.experiments.reporting import ExperimentResult, aggregate_seed_results
+
+        def result(acc):
+            return ExperimentResult(
+                "demo", rows=[{"dataset": "cora", "num_train_nodes": 120, "r": acc}]
+            )
+
+        merged = aggregate_seed_results([result(0.1), result(0.3)], seeds=[0, 1])
+        # Constant descriptors stay numeric; only varying columns get ± cells.
+        assert merged.rows[0]["num_train_nodes"] == 120
+        assert merged.rows[0]["r"] == "0.2000 ± 0.1000"
+
+    def test_aggregate_rejects_mismatched_keys(self):
+        from repro.experiments.reporting import ExperimentResult, aggregate_seed_results
+
+        first = self._result(0, 80.0)
+        other = ExperimentResult(
+            "demo",
+            rows=[
+                {"dataset": "pubmed", "method": "vanilla", "accuracy": 1.0},
+                {"dataset": "pubmed", "method": "reg", "accuracy": 1.0},
+            ],
+        )
+        with pytest.raises(ValueError, match="disagrees across seeds"):
+            aggregate_seed_results([first, other], seeds=[0, 1])
+
+    def test_run_experiment_seeds_end_to_end(self):
+        from repro.experiments.runner import run_experiment_seeds
+
+        result = run_experiment_seeds(
+            "table3", seeds=[0, 1], preset=SMALL_PRESET, datasets=["cora"]
+        )
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert "±" in row["accuracy_percent"]
+        assert set(result.metadata["rows_by_seed"]) == {"0", "1"}
+
+    def test_run_experiment_seeds_validates(self):
+        from repro.experiments.runner import run_experiment_seeds
+
+        with pytest.raises(ValueError, match="distinct"):
+            run_experiment_seeds("table3", seeds=[0, 0], preset=SMALL_PRESET)
+        with pytest.raises(ValueError, match="non-empty"):
+            run_experiment_seeds("table3", seeds=[], preset=SMALL_PRESET)
+
+    def test_cli_seeds_flag(self):
+        from repro.experiments.__main__ import build_parser, parse_seeds
+
+        args = build_parser().parse_args(["table3", "--seeds", "0,1,2"])
+        assert args.seeds == (0, 1, 2)
+        assert parse_seeds("4") == (4,)
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table3", "--seeds", "1,1"])
+
+    def test_cli_cache_dir_flag(self, tmp_path):
+        from repro.experiments.__main__ import build_parser
+
+        args = build_parser().parse_args(
+            ["table3", "--cache-dir", str(tmp_path / "cache")]
+        )
+        assert args.cache_dir == str(tmp_path / "cache")

@@ -1,0 +1,139 @@
+"""Tests for the persistent artifact-cache tier (:mod:`repro.utils.cache`).
+
+The disk tier must extend deduplication across cache instances (standing in
+for CLI invocations and process-pool workers) without ever changing results,
+and must recover transparently from corrupt entries.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.experiments.grid import GridRunner
+from repro.experiments.presets import ExperimentPreset
+from repro.experiments.tables import table3_accuracy_bias
+from repro.utils.cache import ArtifactCache
+
+
+TINY_PRESET = ExperimentPreset(
+    name="persist-test",
+    dataset_scale=0.45,
+    epochs=8,
+    models=("gcn",),
+    hidden_features=8,
+    cg_iterations=3,
+)
+
+
+class TestDiskTier:
+    def test_round_trip_across_instances(self, tmp_path):
+        first = ArtifactCache(directory=str(tmp_path))
+        value = {"array": np.arange(5.0), "n": 3}
+        built = first.get_or_create("cell:test:abc", lambda: value)
+        assert built is value
+
+        second = ArtifactCache(directory=str(tmp_path))
+        calls = []
+        reloaded = second.get_or_create("cell:test:abc", lambda: calls.append(1))
+        assert not calls, "disk hit must not invoke the factory"
+        assert np.array_equal(reloaded["array"], value["array"])
+        assert second.stats.disk_hits == 1
+        assert second.stats.hits == 1 and second.stats.misses == 0
+
+    def test_get_and_contains_consult_disk(self, tmp_path):
+        ArtifactCache(directory=str(tmp_path)).put("k:1", [1, 2, 3])
+        fresh = ArtifactCache(directory=str(tmp_path))
+        assert fresh.contains("k:1")
+        assert fresh.get("k:1") == [1, 2, 3]
+        assert fresh.get("k:absent", "fallback") == "fallback"
+
+    def test_corrupt_entry_recovered(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        cache.put("train:x:vanilla", {"ok": True})
+        (path,) = [
+            os.path.join(tmp_path, name)
+            for name in os.listdir(tmp_path)
+            if name.endswith(".pkl")
+        ]
+        with open(path, "wb") as handle:
+            handle.write(b"\x80\x05 definitely not a pickle")
+
+        fresh = ArtifactCache(directory=str(tmp_path))
+        rebuilt = fresh.get_or_create("train:x:vanilla", lambda: {"rebuilt": True})
+        assert rebuilt == {"rebuilt": True}
+        # The corrupt file was deleted and replaced by the rebuilt artifact.
+        third = ArtifactCache(directory=str(tmp_path))
+        assert third.get("train:x:vanilla") == {"rebuilt": True}
+
+    def test_truncated_entry_recovered(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        cache.put("k", np.ones(100))
+        (path,) = [
+            os.path.join(tmp_path, n) for n in os.listdir(tmp_path) if n.endswith(".pkl")
+        ]
+        with open(path, "rb") as handle:
+            payload = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(payload[: len(payload) // 2])
+        fresh = ArtifactCache(directory=str(tmp_path))
+        assert fresh.get("k", "miss") == "miss"
+        assert not os.path.exists(path)
+
+    def test_unpicklable_artifact_stays_memory_only(self, tmp_path):
+        cache = ArtifactCache(directory=str(tmp_path))
+        unpicklable = {"lock": threading.Lock()}
+        with pytest.raises((TypeError, pickle.PicklingError)):
+            pickle.dumps(unpicklable)
+        built = cache.get_or_create("k", lambda: unpicklable)
+        assert built is unpicklable
+        assert cache.get("k") is unpicklable  # memory tier still serves it
+        assert cache.stats.disk_skipped == 1
+        assert ArtifactCache(directory=str(tmp_path)).get("k") is None
+
+    def test_memory_only_cache_unchanged(self, tmp_path):
+        cache = ArtifactCache()
+        cache.put("k", 1)
+        assert cache.directory is None
+        assert not list(tmp_path.iterdir())
+
+
+class TestGridRunnerPersistence:
+    def test_cache_dir_reuses_cells_across_runners(self, tmp_path):
+        """Two runners (≈ two CLI invocations) sharing a directory train once."""
+        cache_dir = str(tmp_path / "cache")
+        first_runner = GridRunner(cache_dir=cache_dir)
+        first = table3_accuracy_bias(
+            TINY_PRESET, seed=0, datasets=["cora"], runner=first_runner
+        )
+        assert first_runner.cache_stats.misses > 0
+
+        second_runner = GridRunner(cache_dir=cache_dir)
+        second = table3_accuracy_bias(
+            TINY_PRESET, seed=0, datasets=["cora"], runner=second_runner
+        )
+        stats = second_runner.cache_stats
+        assert stats.misses == 0, f"expected full disk reuse, got {stats}"
+        assert stats.disk_hits > 0
+        assert first.rows == second.rows, "disk-served payloads must be identical"
+
+    def test_cache_dir_implies_cache(self, tmp_path):
+        runner = GridRunner(cache=False, cache_dir=str(tmp_path / "c"))
+        assert runner.cache_enabled and runner.artifact_cache is not None
+
+    def test_unpickled_graph_revision_is_fresh(self, tmp_path):
+        """Disk-cached graphs must re-tag: stored revisions are process-local."""
+        import pickle as pkl
+
+        from repro.datasets import load_dataset
+
+        graph = load_dataset("cora", seed=0, scale=0.45)
+        clone = pkl.loads(pkl.dumps(graph))
+        assert clone.revision != graph.revision
+        assert np.array_equal(clone.adjacency, graph.adjacency)
+        # The clone's CSR view is rebuilt lazily and tagged with the fresh id.
+        assert clone.csr().allclose(graph.adjacency)

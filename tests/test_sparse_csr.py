@@ -167,3 +167,77 @@ class TestProducts:
         dense = random_sparse(rng, n=200, density=0.01)
         csr = CSRMatrix.from_dense(dense)
         assert csr.memory_bytes() < dense.nbytes
+
+
+class TestIncrementalEdgeUpdates:
+    """apply_edge_updates_csr / append_empty_node_csr (serving subsystem)."""
+
+    def _random_adjacency(self, seed=0, n=50, density=0.1):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < density).astype(float)
+        dense = np.triu(dense, 1)
+        return dense + dense.T
+
+    def test_add_and_remove_match_dense_reference(self):
+        from repro.sparse.ops import apply_edge_updates_csr
+
+        dense = self._random_adjacency()
+        csr = CSRMatrix.from_dense(dense)
+        add = np.array([[0, 1], [4, 9], [20, 45]])
+        edges = np.stack(np.nonzero(np.triu(dense, 1)), axis=1)
+        remove = edges[:6]
+        updated = apply_edge_updates_csr(csr, add_pairs=add, remove_pairs=remove)
+        reference = dense.copy()
+        for i, j in add:
+            reference[i, j] = reference[j, i] = 1.0
+        for i, j in remove:
+            reference[i, j] = reference[j, i] = 0.0
+        assert updated.allclose(reference)
+        # the original matrix is untouched (immutability convention)
+        assert csr.allclose(dense)
+
+    def test_redundant_updates_are_noops(self):
+        from repro.sparse.ops import apply_edge_updates_csr
+
+        dense = self._random_adjacency(seed=1)
+        csr = CSRMatrix.from_dense(dense)
+        edges = np.stack(np.nonzero(np.triu(dense, 1)), axis=1)
+        non_edges = np.array([[i, j] for i in range(10) for j in range(i + 1, 10)
+                              if dense[i, j] == 0][:4])
+        # adding existing edges / removing absent ones changes nothing
+        assert apply_edge_updates_csr(csr, add_pairs=edges[:3]).allclose(dense)
+        assert apply_edge_updates_csr(csr, remove_pairs=non_edges).allclose(dense)
+        assert apply_edge_updates_csr(csr) is csr
+
+    def test_validation(self):
+        from repro.sparse.ops import apply_edge_updates_csr
+
+        csr = CSRMatrix.from_dense(self._random_adjacency())
+        with pytest.raises(ValueError, match="self-loops"):
+            apply_edge_updates_csr(csr, add_pairs=np.array([[3, 3]]))
+        with pytest.raises(ValueError, match="out of range"):
+            apply_edge_updates_csr(csr, remove_pairs=np.array([[0, 500]]))
+        with pytest.raises(ValueError, match="shape"):
+            apply_edge_updates_csr(csr, add_pairs=np.array([[0, 1, 2]]))
+
+    def test_append_empty_node(self):
+        from repro.sparse.ops import append_empty_node_csr, apply_edge_updates_csr
+
+        dense = self._random_adjacency(seed=2, n=12)
+        grown = append_empty_node_csr(CSRMatrix.from_dense(dense))
+        assert grown.shape == (13, 13)
+        expected = np.zeros((13, 13))
+        expected[:12, :12] = dense
+        assert grown.allclose(expected)
+        connected = apply_edge_updates_csr(grown, add_pairs=np.array([[12, 0]]))
+        expected[12, 0] = expected[0, 12] = 1.0
+        assert connected.allclose(expected)
+
+    def test_empty_graph_updates(self):
+        from repro.sparse.ops import apply_edge_updates_csr
+
+        empty = CSRMatrix.from_dense(np.zeros((5, 5)))
+        updated = apply_edge_updates_csr(empty, add_pairs=np.array([[0, 4]]))
+        reference = np.zeros((5, 5))
+        reference[0, 4] = reference[4, 0] = 1.0
+        assert updated.allclose(reference)
