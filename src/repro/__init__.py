@@ -15,7 +15,9 @@ The package is organised as:
 * :mod:`repro.core`        — the PPFR method, baselines and the Δ metric,
 * :mod:`repro.experiments` — harness regenerating every table and figure,
 * :mod:`repro.serve`       — online inference serving (registry, engine,
-  mutable graph sessions, request batching).
+  mutable graph sessions, request batching),
+* :mod:`repro.cluster`     — sharded multi-process serving (partitioner,
+  shard workers, shard router).
 
 Quickstart
 ----------

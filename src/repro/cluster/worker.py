@@ -1,0 +1,323 @@
+"""Shard worker: one engine replica over one partition, driven by commands.
+
+A :class:`ShardWorker` hosts its own :class:`~repro.serve.session.GraphSession`
+and :class:`~repro.serve.engine.InferenceEngine` over a shard's row-subset
+structure (:mod:`repro.cluster.partition`), answering predictions for the
+nodes the shard owns.  Because the shard view keeps global node ids and full
+rows for every local node, the engine's ego blocks, keyed sampling, logit
+cache and k-hop dirty sets behave *identically* to a single-process engine
+over the whole graph — the worker is a true replica, not an approximation.
+
+The worker runs in-process (tests, debugging) or as a child process behind a
+command pipe (:class:`ProcessWorker`): the router sends ``(command, payload)``
+tuples — ``predict`` / ``mutate`` / ``stats`` / ``shutdown`` — and each reply
+is ``("ok", value)`` or ``("error", message)``.  Process workers load their
+model parameters from the shared on-disk
+:class:`~repro.serve.registry.ModelRegistry` rather than receiving a pickled
+model, so every replica serves exactly the committed registry version.
+
+Mutations arrive as :class:`ShardUpdate` payloads assembled by the router:
+the global mutation endpoints (dirty-set seeds), the freshly spliced rows
+(changed endpoints, entering halo nodes, cleared leaving nodes) and the
+feature rows of entering nodes.  The worker splices them in with
+:func:`repro.sparse.ops.splice_rows_csr` and commits through
+:meth:`GraphSession.replace_structure`, which drives the normal
+``MutationListener`` invalidation path — cross-shard staleness is therefore
+impossible for the same reason single-process staleness is.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.partition import ShardPartition
+from repro.serve.engine import InferenceEngine, ServeConfig
+from repro.serve.session import GraphSession
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import append_empty_node_csr, splice_rows_csr
+
+__all__ = [
+    "ClusterWorkerError",
+    "ShardUpdate",
+    "WorkerInit",
+    "ShardWorker",
+    "InProcessWorker",
+    "ProcessWorker",
+]
+
+
+class ClusterWorkerError(RuntimeError):
+    """A shard worker rejected a command (re-raised router-side)."""
+
+
+@dataclass
+class ShardUpdate:
+    """One mutation's payload for one shard (all node ids global).
+
+    ``rows``/``rows_csr`` carry the spliced row contents (sorted, unique;
+    entering/changed rows full, leaving rows empty); ``endpoints`` seed the
+    worker engine's dirty-set expansion; ``entering``/``leaving`` adjust the
+    local (owned ∪ halo) set; ``own_node`` transfers ownership of a freshly
+    appended node to this shard.  A trivial update (everything empty, possibly
+    with a grown ``num_nodes``) is the version-sync *tick* sent to shards a
+    mutation does not touch, keeping every shard's deterministic sampling key
+    equal to the global session's.
+    """
+
+    num_nodes: int
+    version: int
+    endpoints: np.ndarray
+    rows: np.ndarray
+    rows_csr: CSRMatrix
+    entering: np.ndarray
+    entering_features: np.ndarray
+    leaving: np.ndarray
+    own_node: Optional[int] = None
+
+
+@dataclass
+class WorkerInit:
+    """Everything a worker (process) needs to build its replica.
+
+    Exactly one of ``model`` (in-process / pre-built instance) or
+    ``registry_root``+``model_name`` (load from the shared registry) must be
+    provided.  ``backend`` pins the compute-backend contextvar inside the
+    child process, which does not inherit the parent's context.
+    """
+
+    partition: ShardPartition
+    config: ServeConfig = field(default_factory=ServeConfig)
+    backend: Optional[str] = None
+    model: Optional[object] = None
+    registry_root: Optional[str] = None
+    model_name: Optional[str] = None
+    model_version: Optional[int] = None
+    base_version: int = 0
+    """The primary session's mutation counter at partition time: replica
+    sessions start from it so sampling keys (and the router's drift check)
+    stay aligned even when the global session had pre-router history."""
+
+
+def _load_model(init: WorkerInit):
+    if init.model is not None:
+        return init.model
+    if init.registry_root is None or init.model_name is None:
+        raise ValueError(
+            "WorkerInit needs either a model instance or a registry reference"
+        )
+    from repro.serve.registry import ModelRegistry
+
+    model, _ = ModelRegistry(init.registry_root).load(
+        init.model_name, version=init.model_version
+    )
+    return model
+
+
+class ShardWorker:
+    """The in-process core: session + engine replica over one partition."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        partition = init.partition
+        self.shard_id = partition.shard_id
+        self.halo_hops = partition.halo_hops
+        self._owned_mask = np.zeros(partition.num_nodes, dtype=bool)
+        self._owned_mask[partition.owned] = True
+        self._local = partition.local
+        self.model = _load_model(init)
+        self.session = GraphSession(
+            partition.csr,
+            partition.padded_features(),
+            initial_version=init.base_version,
+        )
+        self.engine = InferenceEngine(self.model, self.session, init.config)
+        self._requests = 0
+
+    # ------------------------------------------------------------------ #
+    # Commands
+    # ------------------------------------------------------------------ #
+    def predict_logits(self, nodes: np.ndarray) -> np.ndarray:
+        """Logit rows for owned ``nodes`` (router-routed; ownership checked)."""
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if nodes.size and not self._owned_mask[nodes].all():
+            stray = nodes[~self._owned_mask[nodes]]
+            raise ClusterWorkerError(
+                f"shard {self.shard_id} does not own nodes {stray[:8].tolist()}"
+            )
+        self._requests += int(nodes.size)
+        return self.engine.predict_logits(nodes)
+
+    def apply(self, update: ShardUpdate) -> int:
+        """Install one mutation's payload; returns the new session version."""
+        session = self.session
+        csr = session.csr
+        grown = update.num_nodes - csr.shape[0]
+        if grown < 0:
+            raise ClusterWorkerError("shard structure cannot shrink")
+        features = session.features
+        if grown:
+            for _ in range(grown):
+                csr = append_empty_node_csr(csr)
+            features = np.vstack(
+                [features, np.zeros((grown, features.shape[1]))]
+            )
+            self._owned_mask = np.concatenate(
+                [self._owned_mask, np.zeros(grown, dtype=bool)]
+            )
+        if update.own_node is not None:
+            self._owned_mask[update.own_node] = True
+        entering = np.asarray(update.entering, dtype=np.int64)
+        if entering.size:
+            features[entering] = update.entering_features
+        new_csr = splice_rows_csr(csr, update.rows, update.rows_csr)
+        session.replace_structure(
+            new_csr,
+            endpoints=update.endpoints,
+            touched_rows=update.rows,
+            features=features,
+        )
+        if session.version != update.version:
+            raise ClusterWorkerError(
+                f"shard {self.shard_id} version drifted: "
+                f"{session.version} != {update.version}"
+            )
+        self._local = np.setdiff1d(
+            np.union1d(self._local, entering),
+            np.asarray(update.leaving, dtype=np.int64),
+        )
+        return session.version
+
+    def stats(self) -> Dict:
+        """Cache + throughput counters of this replica."""
+        cache = self.engine.cache_stats
+        owned = int(np.count_nonzero(self._owned_mask))
+        return {
+            "shard_id": self.shard_id,
+            "owned": owned,
+            "halo": int(self._local.size) - owned,
+            "requests": self._requests,
+            "version": self.session.version,
+            "hits": 0 if cache is None else cache.hits,
+            "misses": 0 if cache is None else cache.misses,
+            "invalidated": 0 if cache is None else cache.invalidated,
+            "cache_size": 0 if cache is None else cache.size,
+        }
+
+    def handle(self, command: str, payload) -> object:
+        """Dispatch one protocol command (shared by both worker frontends)."""
+        if command == "predict":
+            return self.predict_logits(payload)
+        if command == "mutate":
+            return self.apply(payload)
+        if command == "stats":
+            return self.stats()
+        raise ClusterWorkerError(f"unknown command {command!r}")
+
+
+class InProcessWorker:
+    """Pipe-free worker frontend: same protocol, same thread (tests/CLI)."""
+
+    def __init__(self, init: WorkerInit) -> None:
+        self._worker = ShardWorker(init)
+        self._pending: Optional[Tuple[str, object]] = None
+
+    def send(self, command: str, payload=None) -> None:
+        if command == "shutdown":
+            self._pending = ("ok", None)
+            return
+        try:
+            self._pending = ("ok", self._worker.handle(command, payload))
+        except Exception as error:  # noqa: BLE001 - mirrored to the protocol
+            self._pending = ("error", f"{type(error).__name__}: {error}")
+
+    def recv(self):
+        status, value = self._pending
+        self._pending = None
+        if status == "error":
+            raise ClusterWorkerError(value)
+        return value
+
+    def request(self, command: str, payload=None):
+        self.send(command, payload)
+        return self.recv()
+
+    def close(self) -> None:
+        self._pending = None
+
+
+def _worker_main(
+    conn: multiprocessing.connection.Connection, init: WorkerInit
+) -> None:
+    """Child-process entry: build the replica, serve the command pipe."""
+    from repro.sparse.backend import use_backend
+
+    scope = use_backend(init.backend) if init.backend else nullcontext()
+    with scope:
+        try:
+            worker = ShardWorker(init)
+        except Exception as error:  # noqa: BLE001 - surfaced to the router
+            conn.send(("error", f"{type(error).__name__}: {error}"))
+            return
+        conn.send(("ok", worker.shard_id))
+        while True:
+            try:
+                command, payload = conn.recv()
+            except (EOFError, OSError):
+                return
+            if command == "shutdown":
+                conn.send(("ok", None))
+                return
+            try:
+                conn.send(("ok", worker.handle(command, payload)))
+            except Exception as error:  # noqa: BLE001 - mirrored to the protocol
+                conn.send(("error", f"{type(error).__name__}: {error}"))
+
+
+class ProcessWorker:
+    """Worker frontend over a child process and a duplex command pipe."""
+
+    def __init__(self, init: WorkerInit, start_method: Optional[str] = None) -> None:
+        context = multiprocessing.get_context(start_method)
+        self._conn, child = context.Pipe(duplex=True)
+        self.process = context.Process(
+            target=_worker_main, args=(child, init), daemon=True
+        )
+        self.process.start()
+        child.close()
+        # Handshake: surfaces construction failures (bad registry ref, …)
+        # at spawn time instead of on the first predict.
+        status, value = self._conn.recv()
+        if status == "error":
+            self.close()
+            raise ClusterWorkerError(value)
+
+    def send(self, command: str, payload=None) -> None:
+        self._conn.send((command, payload))
+
+    def recv(self):
+        status, value = self._conn.recv()
+        if status == "error":
+            raise ClusterWorkerError(value)
+        return value
+
+    def request(self, command: str, payload=None):
+        self.send(command, payload)
+        return self.recv()
+
+    def close(self) -> None:
+        if self.process.is_alive():
+            try:
+                self._conn.send(("shutdown", None))
+                self._conn.recv()
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():  # pragma: no cover - defensive teardown
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        self._conn.close()

@@ -41,6 +41,11 @@ class ComputeConfig:
         ``results/cache``) enabling the persistent artifact tier: trained
         cells are spilled to disk and reused across CLI invocations and
         process-pool workers.
+    shards:
+        Serving-side shard count (the serve CLI's ``--shards``): ``None``
+        serves from one in-process engine, ``N >= 1`` routes through a
+        :class:`repro.cluster.router.ShardRouter` over ``N`` worker
+        processes.
     """
 
     backend: Optional[str] = None
@@ -48,8 +53,11 @@ class ComputeConfig:
     jobs: Optional[int] = None
     cache: bool = True
     cache_dir: Optional[str] = None
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
+        if self.shards is not None and self.shards < 1:
+            raise ValueError("shards must be at least 1")
         if self.backend is not None:
             allowed = set(available_backends()) | {"auto"}
             if self.backend not in allowed:

@@ -243,6 +243,55 @@ class NeighborSampler:
         # Full-graph d̃ = deg + 1 (the +1 is the unit self-loop of A + I).
         self.degrees_with_self = self.csr.row_sums() + 1.0
 
+    def with_mutation(self, event) -> "NeighborSampler":
+        """A retargeted *copy* of the sampler after a structure mutation.
+
+        Splices the degree vector like :meth:`apply_mutation` but onto a
+        fresh sampler object (over a copied degree array), leaving ``self``
+        untouched — snapshot semantics for concurrent readers: an in-flight
+        ``ego_blocks`` call keeps a consistent (pre-mutation) view while the
+        owner swaps in the returned sampler.  Cost: one O(N) degree copy plus
+        the O(touched) splice, versus the historical O(m) rebuild.
+        """
+        clone = object.__new__(type(self))
+        clone.csr = self.csr
+        clone.seed = self.seed
+        clone.num_nodes = self.num_nodes
+        clone.degrees_with_self = self.degrees_with_self.copy()
+        clone.apply_mutation(event)
+        return clone
+
+    def apply_mutation(self, event) -> None:
+        """Retarget the sampler *in place* after a structure mutation.
+
+        ``event`` is a :class:`~repro.serve.session.MutationEvent` (or any
+        object with ``new_csr`` and ``touched_rows``): the sampler swaps in
+        the new CSR and *splices* the cached degree vector — only the rows
+        whose content changed are re-summed, instead of the historical O(m)
+        full rebuild per mutation.  Appended nodes (``add_node``) enter with
+        the empty-row degree ``d̃ = 1`` before their ``touched_rows`` splice.
+        Not safe under concurrent readers — use :meth:`with_mutation` when
+        other threads may be sampling.
+        """
+        new_csr = event.new_csr
+        if new_csr.shape[0] != new_csr.shape[1]:
+            raise ValueError("adjacency must be square")
+        grown = new_csr.shape[0] - self.num_nodes
+        if grown < 0:
+            raise ValueError("structure can only grow or stay the same size")
+        if grown:
+            self.degrees_with_self = np.concatenate(
+                [self.degrees_with_self, np.ones(grown)]
+            )
+        touched = np.asarray(event.touched_rows, dtype=np.int64).reshape(-1)
+        touched = np.unique(touched[touched < new_csr.shape[0]])
+        if touched.size:
+            self.degrees_with_self[touched] = (
+                new_csr.slice_rows(touched).row_sums() + 1.0
+            )
+        self.csr = new_csr
+        self.num_nodes = new_csr.shape[0]
+
     # ------------------------------------------------------------------ #
     # Batch schedule
     # ------------------------------------------------------------------ #

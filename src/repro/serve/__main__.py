@@ -87,10 +87,42 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--batch-size", type=int, default=32, help="micro-batch size")
     serve.add_argument("--seed", type=int, default=0, help="request-stream seed")
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="serve through a sharded worker cluster instead of one engine "
+        "(delegates to python -m repro.cluster serve)",
+    )
 
     commands.add_parser(
         "list", parents=[common], help="list registered models and versions"
     )
+
+    gc = commands.add_parser(
+        "gc",
+        parents=[common],
+        help="prune old registry versions (pinned versions survive)",
+    )
+    gc.add_argument("--name", default=None, help="one model name (default: all)")
+    gc.add_argument(
+        "--keep-last",
+        type=int,
+        default=3,
+        help="committed versions to retain per name (default: 3)",
+    )
+
+    pin = commands.add_parser(
+        "pin", parents=[common], help="protect one version from gc"
+    )
+    pin.add_argument("--name", required=True)
+    pin.add_argument("--version", type=int, required=True)
+
+    unpin = commands.add_parser(
+        "unpin", parents=[common], help="remove a gc protection pin"
+    )
+    unpin.add_argument("--name", required=True)
+    unpin.add_argument("--version", type=int, required=True)
     return parser
 
 
@@ -140,6 +172,27 @@ def cmd_train(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    if args.shards is not None:
+        from repro.cluster.__main__ import main as cluster_main
+
+        argv = [
+            "serve",
+            "--registry", args.registry,
+            "--name", args.name,
+            "--shards", str(args.shards),
+            "--requests", str(args.requests),
+            "--mutate", str(args.mutate),
+            "--seed", str(args.seed),
+            "--batch-size", str(args.batch_size),
+        ]
+        if args.version is not None:
+            argv += ["--version", str(args.version)]
+        if args.fanouts is not None:
+            argv += [
+                "--fanouts",
+                ",".join("all" if f is None else str(f) for f in args.fanouts),
+            ]
+        return cluster_main(argv)
     registry = ModelRegistry(args.registry)
     meta = registry.read_meta(args.name, version=args.version)
     graph = _rebuild_graph(meta)
@@ -221,12 +274,46 @@ def cmd_list(args) -> int:
     return 0
 
 
+def cmd_gc(args) -> int:
+    registry = ModelRegistry(args.registry)
+    names = [args.name] if args.name else registry.list_models()
+    total = 0
+    for name in names:
+        removed = registry.prune(name, keep_last=args.keep_last)
+        pinned = registry.pinned_versions(name)
+        total += len(removed)
+        print(
+            f"{name}: removed {removed or 'nothing'}, "
+            f"kept {registry.versions(name)}"
+            + (f" (pinned {pinned})" if pinned else "")
+        )
+    print(f"gc: {total} version(s) removed")
+    return 0
+
+
+def cmd_pin(args) -> int:
+    registry = ModelRegistry(args.registry)
+    if args.command == "pin":
+        registry.pin(args.name, args.version)
+    else:
+        registry.unpin(args.name, args.version)
+    print(
+        f"{args.command}ned {args.name} v{args.version} "
+        f"(pinned: {registry.pinned_versions(args.name)})"
+    )
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "train":
         return cmd_train(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "gc":
+        return cmd_gc(args)
+    if args.command in ("pin", "unpin"):
+        return cmd_pin(args)
     return cmd_list(args)
 
 

@@ -39,7 +39,21 @@ from repro.gnn.sampling import NeighborSampler
 from repro.graphs.khop import khop_frontier
 from repro.serve.session import GraphSession, MutationEvent
 
-__all__ = ["ServeConfig", "LogitCacheStats", "LogitCache", "InferenceEngine"]
+__all__ = [
+    "ServeConfig",
+    "LogitCacheStats",
+    "LogitCache",
+    "InferenceEngine",
+    "softmax_rows",
+]
+
+
+def softmax_rows(logits: np.ndarray) -> np.ndarray:
+    """Row-wise shifted softmax — the one posterior kernel every serving
+    front-end (engine, shard router) shares."""
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
 
 DEFAULT_FALLBACK_HOPS = 2
 """Dirty-set radius for models without a declared sampled depth (GAT)."""
@@ -249,10 +263,7 @@ class InferenceEngine:
 
     def predict_proba(self, nodes) -> np.ndarray:
         """Softmax posteriors (the payload an online client receives)."""
-        logits = self.predict_logits(nodes)
-        shifted = logits - logits.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=1, keepdims=True)
+        return softmax_rows(self.predict_logits(nodes))
 
     def predict_labels(self, nodes) -> np.ndarray:
         """Hard label predictions for ``nodes``."""
@@ -284,11 +295,12 @@ class InferenceEngine:
     def _on_mutation(self, event: MutationEvent) -> None:
         hops = self._layers if self._layers is not None else DEFAULT_FALLBACK_HOPS
         with self._lock:
-            self._sampler = (
-                NeighborSampler(event.new_csr, seed=self.config.seed)
-                if self._layers is not None
-                else None
-            )
+            if self._sampler is not None:
+                # Incremental retarget: splice only the touched rows' degrees
+                # instead of rebuilding the O(m) degree vector.  The copying
+                # variant keeps snapshot semantics — an in-flight _compute
+                # holds a consistent pre-mutation sampler.
+                self._sampler = self._sampler.with_mutation(event)
             expected = self._last_revision
             self._last_revision = event.revision
         if self._cache is None:

@@ -26,6 +26,7 @@ import hashlib
 import json
 import os
 import re
+import shutil
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -237,8 +238,56 @@ class ModelRegistry:
         )
 
     # ------------------------------------------------------------------ #
+    # Retention
+    # ------------------------------------------------------------------ #
+    def pin(self, name: str, version: int) -> None:
+        """Protect ``version`` from :meth:`prune` (idempotent)."""
+        self.read_meta(name, version)  # raises for absent entries
+        with open(self._pin_path(name, version), "w", encoding="utf-8"):
+            pass
+
+    def unpin(self, name: str, version: int) -> None:
+        """Remove a pin (absent pins are a no-op)."""
+        self._check_name(name)
+        try:
+            os.remove(self._pin_path(name, version))
+        except FileNotFoundError:
+            pass
+
+    def pinned_versions(self, name: str) -> List[int]:
+        """Committed versions of ``name`` currently pinned, ascending."""
+        return [
+            version
+            for version in self.versions(name)
+            if os.path.isfile(self._pin_path(name, version))
+        ]
+
+    def prune(self, name: str, keep_last: int = 3) -> List[int]:
+        """Delete old versions of ``name``; returns the versions removed.
+
+        Keeps the newest ``keep_last`` committed versions plus every pinned
+        one.  The latest committed version is always retained — even at
+        ``keep_last=0`` — so serving processes resolving "latest" are
+        unaffected and version numbers are never reused (the next
+        :meth:`save` still claims ``latest + 1``).
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be non-negative")
+        versions = self.versions(name)
+        keep = set(versions[max(0, len(versions) - keep_last) :] if keep_last else [])
+        keep.update(versions[-1:])
+        keep.update(self.pinned_versions(name))
+        removed = [version for version in versions if version not in keep]
+        for version in removed:
+            shutil.rmtree(self._entry_dir(name, version))
+        return removed
+
+    # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _pin_path(self, name: str, version: int) -> str:
+        return os.path.join(self._entry_dir(name, version), "PINNED")
+
     def _entry_dir(self, name: str, version: int) -> str:
         return os.path.join(self.root, name, f"v{version}")
 

@@ -39,9 +39,25 @@ __all__ = ["MutationEvent", "GraphSession"]
 
 
 class MutationEvent:
-    """One structure mutation, as broadcast to session listeners."""
+    """One structure mutation, as broadcast to session listeners.
 
-    __slots__ = ("old_csr", "new_csr", "endpoints", "revision", "version")
+    ``endpoints`` are the *semantic* touched nodes (the edge endpoints of the
+    mutation) — what dirty-set invalidation expands from.  ``touched_rows``
+    are the CSR rows whose stored content actually changed; for plain
+    edge mutations the two coincide, but a cluster shard's halo sync also
+    refreshes entering/leaving ghost rows whose global structure did *not*
+    change — those belong in ``touched_rows`` (degree splices) but not in
+    ``endpoints`` (no invalidation needed).
+    """
+
+    __slots__ = (
+        "old_csr",
+        "new_csr",
+        "endpoints",
+        "revision",
+        "version",
+        "touched_rows",
+    )
 
     def __init__(
         self,
@@ -50,12 +66,14 @@ class MutationEvent:
         endpoints: np.ndarray,
         revision: int,
         version: int,
+        touched_rows: Optional[np.ndarray] = None,
     ) -> None:
         self.old_csr = old_csr
         self.new_csr = new_csr
         self.endpoints = endpoints
         self.revision = revision
         self.version = version
+        self.touched_rows = endpoints if touched_rows is None else touched_rows
 
 
 MutationListener = Callable[[MutationEvent], None]
@@ -75,6 +93,10 @@ class GraphSession:
         Optional attached :class:`Graph` kept coherent with the session (its
         dense adjacency is edited in place and its revision bumped on every
         mutation).  Use :meth:`from_graph` to build both from one object.
+    initial_version:
+        Starting value of the deterministic mutation counter.  Replica
+        sessions (cluster shard workers) start from the primary session's
+        current counter so their sampling keys stay aligned with it.
     """
 
     def __init__(
@@ -82,6 +104,7 @@ class GraphSession:
         adjacency,
         features: np.ndarray,
         graph: Optional[Graph] = None,
+        initial_version: int = 0,
     ) -> None:
         if isinstance(adjacency, CSRMatrix):
             self._csr = adjacency
@@ -102,7 +125,9 @@ class GraphSession:
             self._revision = graph.revision
         else:
             self._revision = tag_adjacency(self._csr, owned=True)
-        self._version = 0
+        if initial_version < 0:
+            raise ValueError("initial_version must be non-negative")
+        self._version = int(initial_version)
         self._listeners: List[MutationListener] = []
 
     @classmethod
@@ -221,6 +246,66 @@ class GraphSession:
         new_csr = apply_edge_updates_csr(grown, add_pairs=pairs) if pairs.size else grown
         self._commit(new_csr, pairs, dense_value=1.0, old_csr=old_csr)
         return node
+
+    def replace_structure(
+        self,
+        new_csr: CSRMatrix,
+        endpoints: np.ndarray,
+        touched_rows: Optional[np.ndarray] = None,
+        features: Optional[np.ndarray] = None,
+    ) -> int:
+        """Commit an externally assembled structure; returns the new revision.
+
+        The cluster shard worker's commit path: the router ships freshly
+        spliced rows (changed endpoints, entering/leaving halo nodes) and the
+        worker installs the resulting CSR here — one revision + version bump
+        and one listener broadcast, exactly like a local mutation.
+        ``endpoints`` are the semantic mutation endpoints (dirty-set seeds);
+        ``touched_rows`` the rows whose stored content changed (defaults to
+        ``endpoints``); ``features`` optionally replaces the feature matrix
+        (grown node set, freshly filled ghost rows).  Not available on
+        sessions attached to a dense :class:`Graph` — the external structure
+        has no dense counterpart to keep coherent.
+        """
+        if self._graph is not None:
+            raise ValueError(
+                "replace_structure is not supported on graph-attached sessions"
+            )
+        if new_csr.shape[0] != new_csr.shape[1]:
+            raise ValueError("new_csr must be square")
+        if new_csr.shape[0] < self._csr.shape[0]:
+            raise ValueError("structure can only grow or stay the same size")
+        if features is not None:
+            features = np.asarray(features, dtype=np.float64)
+            if features.ndim != 2 or features.shape[0] != new_csr.shape[0]:
+                raise ValueError(
+                    "features must be (N, F) with one row per adjacency node"
+                )
+            self.features = features
+        elif new_csr.shape[0] != self.features.shape[0]:
+            raise ValueError("grown structure needs a grown feature matrix")
+        old_csr = self._csr
+        self._csr = new_csr
+        self._revision = next_revision()
+        tag_adjacency(new_csr, revision=self._revision, owned=True)
+        self._version += 1
+        endpoints = np.asarray(endpoints, dtype=np.int64).reshape(-1)
+        touched = (
+            endpoints
+            if touched_rows is None
+            else np.asarray(touched_rows, dtype=np.int64).reshape(-1)
+        )
+        event = MutationEvent(
+            old_csr=old_csr,
+            new_csr=new_csr,
+            endpoints=endpoints,
+            revision=self._revision,
+            version=self._version,
+            touched_rows=touched,
+        )
+        for listener in self._listeners:
+            listener(event)
+        return self._revision
 
     # ------------------------------------------------------------------ #
     # Internals

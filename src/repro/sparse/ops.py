@@ -31,6 +31,8 @@ __all__ = [
     "gather_neighbor_positions",
     "gather_neighbors",
     "induced_subgraph_csr",
+    "row_subset_csr",
+    "splice_rows_csr",
     "apply_edge_updates_csr",
     "append_empty_node_csr",
 ]
@@ -267,6 +269,85 @@ def induced_subgraph_csr(adjacency: CSRMatrix, nodes: np.ndarray) -> CSRMatrix:
     return CSRMatrix.from_coo(
         rows, local_cols[keep], sliced.data[keep], (nodes.size, nodes.size)
     )
+
+
+def _check_row_subset(shape_rows: int, rows: np.ndarray, name: str) -> np.ndarray:
+    rows = np.asarray(rows, dtype=np.int64)
+    if rows.ndim != 1:
+        raise ValueError(f"{name} must be a 1-D index array")
+    if rows.size and (rows.min() < 0 or rows.max() >= shape_rows):
+        raise ValueError(f"{name} index out of bounds")
+    if rows.size > 1 and np.any(np.diff(rows) <= 0):
+        raise ValueError(f"{name} must be sorted and duplicate-free")
+    return rows
+
+
+def row_subset_csr(adjacency: CSRMatrix, rows: np.ndarray) -> CSRMatrix:
+    """Keep only ``rows``' segments of ``adjacency``; every other row empty.
+
+    The halo-extraction kernel of the cluster partitioner: a shard's view of
+    the graph is the *row subset* of the global structure over its owned and
+    halo nodes — same shape, same global column ids, full adjacency lists for
+    the kept rows — so ego-block extraction, keyed sampling and k-hop dirty
+    sets over the shard view are byte-identical to the global ones wherever
+    the shard has complete knowledge.  ``rows`` must be sorted and unique.
+    Cost: O(Σ deg(rows)) array traffic plus the O(N) index column.
+    """
+    n = adjacency.shape[0]
+    rows = _check_row_subset(n, rows, "rows")
+    counts = np.zeros(n, dtype=np.int64)
+    counts[rows] = np.diff(adjacency.indptr)[rows]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    src = gather_row_positions(adjacency.indptr, rows)
+    return CSRMatrix(
+        indptr, adjacency.indices[src], adjacency.data[src], adjacency.shape
+    )
+
+
+def splice_rows_csr(
+    adjacency: CSRMatrix, rows: np.ndarray, rows_csr: CSRMatrix
+) -> CSRMatrix:
+    """Replace ``rows`` of ``adjacency`` with the rows of ``rows_csr``.
+
+    ``rows_csr`` is a ``(len(rows), M)`` CSR holding the new content of each
+    listed row (an empty row clears it); every unlisted row's segment is
+    copied wholesale, exactly like the splice phase of
+    :func:`apply_edge_updates_csr`.  ``rows`` must be sorted and unique.
+    This is the shard-worker commit kernel: the router ships freshly
+    assembled rows (changed endpoints, entering halo nodes, cleared leaving
+    nodes) and the worker splices them in O(nnz + Σ deg(rows)).
+    """
+    n = adjacency.shape[0]
+    rows = _check_row_subset(n, rows, "rows")
+    if rows_csr.shape != (rows.size, adjacency.shape[1]):
+        raise ValueError(
+            f"rows_csr must have shape {(rows.size, adjacency.shape[1])}, "
+            f"got {rows_csr.shape}"
+        )
+    if rows.size == 0:
+        return adjacency
+    counts = np.diff(adjacency.indptr)
+    new_counts = counts.copy()
+    new_counts[rows] = np.diff(rows_csr.indptr)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(new_counts, out=indptr[1:])
+    indices = np.empty(indptr[-1], dtype=np.int64)
+    data = np.empty(indptr[-1], dtype=np.float64)
+
+    untouched_mask = np.ones(n, dtype=bool)
+    untouched_mask[rows] = False
+    untouched = np.flatnonzero(untouched_mask)
+    src = gather_row_positions(adjacency.indptr, untouched)
+    dst = gather_row_positions(indptr, untouched)
+    indices[dst] = adjacency.indices[src]
+    data[dst] = adjacency.data[src]
+    # rows_csr is row-major in ascending ``rows`` order — the order the
+    # destination gather visits the replaced rows' segments.
+    dst_rows = gather_row_positions(indptr, rows)
+    indices[dst_rows] = rows_csr.indices
+    data[dst_rows] = rows_csr.data
+    return CSRMatrix(indptr, indices, data, adjacency.shape)
 
 
 def _directed_pairs(pairs: np.ndarray, num_nodes: int, name: str) -> np.ndarray:

@@ -676,3 +676,86 @@ class TestSampledEvaluation:
         )
         result = Trainer(model, config).fit(tiny_graph)
         assert np.isfinite(result.final_train_accuracy)
+
+
+# --------------------------------------------------------------------- #
+# Incremental degree maintenance (serving-mutation satellite)
+# --------------------------------------------------------------------- #
+class TestIncrementalDegrees:
+    """NeighborSampler.apply_mutation splices degrees instead of rebuilding."""
+
+    def _session(self, seed=0, n=60):
+        from repro.serve.session import GraphSession
+
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < 0.08).astype(float)
+        dense = np.triu(dense, 1)
+        dense = dense + dense.T
+        features = rng.random((n, 4))
+        return GraphSession(CSRMatrix.from_dense(dense), features)
+
+    def test_degrees_track_a_mutation_chain(self):
+        session = self._session()
+        sampler = NeighborSampler(session.csr, seed=0)
+        session.add_listener(sampler.apply_mutation)
+
+        session.add_edges(np.array([[0, 7], [12, 40], [3, 59]]))
+        session.remove_edges(np.array([[0, 7]]))
+        session.add_node(np.zeros(4), neighbors=np.array([1, 2, 3]))
+        session.add_node(np.zeros(4))  # isolated: degree stays d̃ = 1
+
+        fresh = NeighborSampler(session.csr, seed=0)
+        assert sampler.csr is session.csr
+        assert sampler.num_nodes == session.num_nodes
+        np.testing.assert_array_equal(
+            sampler.degrees_with_self, fresh.degrees_with_self
+        )
+
+    def test_spliced_sampler_draws_identical_blocks(self):
+        session = self._session(seed=1)
+        sampler = NeighborSampler(session.csr, seed=3)
+        session.add_listener(sampler.apply_mutation)
+        session.add_edges(np.array([[2, 30], [5, 45]]))
+        fresh = NeighborSampler(session.csr, seed=3)
+        nodes = np.array([0, 2, 30, 58])
+        for incremental, rebuilt in zip(
+            sampler.ego_blocks(nodes, (2, 2), key=9),
+            fresh.ego_blocks(nodes, (2, 2), key=9),
+        ):
+            assert incremental.fingerprint() == rebuilt.fingerprint()
+
+    def test_shrinking_structure_rejected(self):
+        sampler = NeighborSampler(np.zeros((4, 4)))
+
+        class Event:
+            new_csr = CSRMatrix.from_dense(np.zeros((3, 3)))
+            touched_rows = np.empty(0, dtype=np.int64)
+
+        with pytest.raises(ValueError, match="grow"):
+            sampler.apply_mutation(Event())
+
+    def test_with_mutation_is_a_snapshot_copy(self):
+        """The copying variant leaves the original sampler untouched (the
+        engine swaps it in so in-flight readers keep a consistent view)."""
+        session = self._session(seed=2)
+        sampler = NeighborSampler(session.csr, seed=0)
+        before_csr = sampler.csr
+        before_degrees = sampler.degrees_with_self.copy()
+
+        class Listener:
+            updated = None
+
+            def __call__(self, event):
+                Listener.updated = sampler.with_mutation(event)
+
+        session.add_listener(Listener())
+        session.add_edges(np.array([[0, 9], [4, 33]]))
+        updated = Listener.updated
+        assert updated is not sampler
+        assert sampler.csr is before_csr
+        np.testing.assert_array_equal(sampler.degrees_with_self, before_degrees)
+        fresh = NeighborSampler(session.csr, seed=0)
+        assert updated.csr is session.csr
+        np.testing.assert_array_equal(
+            updated.degrees_with_self, fresh.degrees_with_self
+        )

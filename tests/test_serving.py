@@ -476,3 +476,84 @@ class TestRequestBatcher:
         np.testing.assert_allclose(
             row, engine.predict_proba(np.array([9]))[0], atol=0
         )
+
+
+# --------------------------------------------------------------------- #
+# Registry concurrency + retention (cluster satellites)
+# --------------------------------------------------------------------- #
+def _concurrent_save(root: str) -> int:
+    """Child-process body: register one model, return the claimed version."""
+    from repro.gnn.models import build_model
+    from repro.serve import ModelRegistry
+
+    model = build_model(
+        "gcn", in_features=4, num_classes=2, hidden_features=4, rng=0
+    )
+    return ModelRegistry(root).save("shared", model)
+
+
+class TestRegistryConcurrency:
+    def test_concurrent_saves_claim_distinct_versions(self, tmp_path):
+        """mkdir-as-lock allocation: parallel savers never share a version."""
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        with context.Pool(4) as pool:
+            versions = pool.map(_concurrent_save, [str(tmp_path)] * 8)
+        assert sorted(versions) == list(range(1, 9))
+        registry = ModelRegistry(str(tmp_path))
+        assert registry.versions("shared") == list(range(1, 9))
+        # every claimed entry is fully committed and loadable
+        for version in versions:
+            model, meta = registry.load("shared", version=version)
+            assert meta["version"] == version
+
+
+class TestRegistryRetention:
+    def _fill(self, root, count=5):
+        registry = ModelRegistry(root)
+        model = build_model(
+            "gcn", in_features=4, num_classes=2, hidden_features=4, rng=0
+        )
+        for _ in range(count):
+            registry.save("m", model)
+        return registry
+
+    def test_prune_keeps_newest_k(self, tmp_path):
+        registry = self._fill(str(tmp_path))
+        removed = registry.prune("m", keep_last=2)
+        assert removed == [1, 2, 3]
+        assert registry.versions("m") == [4, 5]
+        # versions are never reused after a prune
+        model = build_model(
+            "gcn", in_features=4, num_classes=2, hidden_features=4, rng=0
+        )
+        assert registry.save("m", model) == 6
+
+    def test_pinned_versions_survive(self, tmp_path):
+        registry = self._fill(str(tmp_path))
+        registry.pin("m", 2)
+        assert registry.pinned_versions("m") == [2]
+        assert registry.prune("m", keep_last=1) == [1, 3, 4]
+        assert registry.versions("m") == [2, 5]
+        registry.unpin("m", 2)
+        assert registry.prune("m", keep_last=1) == [2]
+        assert registry.versions("m") == [5]
+
+    def test_latest_always_survives(self, tmp_path):
+        registry = self._fill(str(tmp_path), count=3)
+        assert registry.prune("m", keep_last=0) == [1, 2]
+        assert registry.versions("m") == [3]
+        _, meta = registry.load("m")
+        assert meta["version"] == 3
+
+    def test_pin_unknown_version_raises(self, tmp_path):
+        registry = self._fill(str(tmp_path), count=1)
+        with pytest.raises(KeyError):
+            registry.pin("m", 9)
+        registry.unpin("m", 9)  # unpin is a forgiving no-op
+
+    def test_prune_validates_keep_last(self, tmp_path):
+        registry = self._fill(str(tmp_path), count=1)
+        with pytest.raises(ValueError, match="keep_last"):
+            registry.prune("m", keep_last=-1)

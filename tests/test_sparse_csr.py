@@ -241,3 +241,79 @@ class TestIncrementalEdgeUpdates:
         reference = np.zeros((5, 5))
         reference[0, 4] = reference[4, 0] = 1.0
         assert updated.allclose(reference)
+
+
+class TestRowSubsetAndSplice:
+    """row_subset_csr / splice_rows_csr (cluster partition + halo sync kernels)."""
+
+    def _random_adjacency(self, seed=0, n=40, density=0.12):
+        rng = np.random.default_rng(seed)
+        dense = (rng.random((n, n)) < density).astype(float)
+        dense = np.triu(dense, 1)
+        return dense + dense.T
+
+    def test_row_subset_matches_dense_mask(self):
+        from repro.sparse.ops import row_subset_csr
+
+        dense = self._random_adjacency()
+        csr = CSRMatrix.from_dense(dense)
+        rows = np.array([0, 3, 7, 21, 39], dtype=np.int64)
+        subset = row_subset_csr(csr, rows)
+        expected = np.zeros_like(dense)
+        expected[rows] = dense[rows]
+        assert subset.shape == csr.shape
+        assert subset.allclose(expected)
+        # kept rows are byte-identical slices of the original arrays
+        for row in rows:
+            start, stop = csr.indptr[row], csr.indptr[row + 1]
+            s2, e2 = subset.indptr[row], subset.indptr[row + 1]
+            np.testing.assert_array_equal(
+                subset.indices[s2:e2], csr.indices[start:stop]
+            )
+
+    def test_row_subset_validation(self):
+        from repro.sparse.ops import row_subset_csr
+
+        csr = CSRMatrix.from_dense(self._random_adjacency())
+        with pytest.raises(ValueError, match="sorted"):
+            row_subset_csr(csr, np.array([5, 3]))
+        with pytest.raises(ValueError, match="sorted"):
+            row_subset_csr(csr, np.array([3, 3]))
+        with pytest.raises(ValueError, match="out of bounds"):
+            row_subset_csr(csr, np.array([100]))
+
+    def test_splice_replaces_and_clears_rows(self):
+        from repro.sparse.ops import splice_rows_csr
+
+        dense = self._random_adjacency(seed=3)
+        csr = CSRMatrix.from_dense(dense)
+        other = self._random_adjacency(seed=4)
+        rows = np.array([2, 11, 30], dtype=np.int64)
+        replacement = np.zeros((rows.size, dense.shape[1]))
+        replacement[0] = other[2]
+        replacement[1] = other[11]
+        # row 30 stays all-zero: a cleared (leaving-halo) row
+        spliced = splice_rows_csr(csr, rows, CSRMatrix.from_dense(replacement))
+        expected = dense.copy()
+        expected[2] = other[2]
+        expected[11] = other[11]
+        expected[30] = 0.0
+        assert spliced.allclose(expected)
+        assert csr.allclose(dense)  # input untouched
+
+    def test_splice_empty_rows_is_identity(self):
+        from repro.sparse.ops import splice_rows_csr
+
+        csr = CSRMatrix.from_dense(self._random_adjacency(seed=5))
+        empty = np.empty(0, dtype=np.int64)
+        none = CSRMatrix.from_dense(np.zeros((0, csr.shape[1])))
+        assert splice_rows_csr(csr, empty, none) is csr
+
+    def test_splice_validation(self):
+        from repro.sparse.ops import splice_rows_csr
+
+        csr = CSRMatrix.from_dense(self._random_adjacency(seed=6))
+        rows = np.array([1, 2], dtype=np.int64)
+        wrong = CSRMatrix.from_dense(np.zeros((3, csr.shape[1])))
+        with pytest.raises(ValueError, match="shape"):
+            splice_rows_csr(csr, rows, wrong)
