@@ -14,6 +14,16 @@ under incremental updates is asserted by ``tests/test_serving.py``.)
 A second leg measures the vectorised fanout sampler against the historical
 per-row ``rng.choice`` loop it replaced (the PR-3 follow-on hot spot): same
 row counts, ≥ 2× faster at benchmark scale.
+
+A third leg (ISSUE 7) measures the cold-**miss** path: a deep flush of
+distinct uncached requests served by fused plan replay over one
+block-diagonal megabatch versus the unfused per-micro-batch module
+forwards.  Megabatching wins twice — deduplicated receptive fields (one
+sampling pass over the union of the ego blocks) and one kernel dispatch
+sequence per flush instead of one per micro-batch — so the gap widens with
+flush depth; at a 4096-request flush the fused path must be ≥ 2× the
+unfused one, with the plan counters proving the timed path *replayed* a
+cached plan rather than re-recording it.
 """
 
 from __future__ import annotations
@@ -26,7 +36,9 @@ import numpy as np
 from conftest import run_once
 from repro.datasets.synthetic import generate_scaling_graph
 from repro.gnn.models import build_model
+from repro.gnn.plan import PlanCache, record_plan
 from repro.gnn.sampling import _subsample_rows
+from repro.serve.batching import RequestBatcher
 from repro.serve.engine import InferenceEngine, ServeConfig
 from repro.serve.session import GraphSession
 from repro.sparse.csr import CSRMatrix
@@ -41,6 +53,10 @@ WORKING_SET = 512        # distinct nodes the request stream draws from
 WARM_REQUESTS = 4_000    # measured warm-phase requests
 NAIVE_REQUESTS = 5       # full-graph forwards are expensive; few suffice
 MIN_SPEEDUP = 10.0
+PLAN_FLUSH = 4_096       # cold-miss megabatch flush depth for the plan leg
+PLAN_MICRO_BATCH = 64    # unfused leg micro-batch (the pre-plan default)
+PLAN_REPEATS = 3         # best-of timing repeats per leg
+PLAN_MIN_SPEEDUP = 2.0
 
 
 def _setup():
@@ -151,13 +167,96 @@ def _sampler_comparison(csr) -> dict:
     }
 
 
+def _flush_once(batcher: RequestBatcher, working: np.ndarray) -> tuple:
+    """Submit every node of ``working`` and drain inline; returns (s, rows)."""
+    futures = [batcher.submit(int(node)) for node in working]
+    start = time.perf_counter()
+    batcher.flush()
+    elapsed = time.perf_counter() - start
+    return elapsed, np.vstack([future.result() for future in futures])
+
+
+def _plan_comparison(csr, features, model) -> dict:
+    """Cold-miss fused-vs-unfused: one deep flush of distinct requests.
+
+    Both legs serve the identical PLAN_FLUSH-node flush with the logit cache
+    off, so every timed request is on the miss path.  The unfused leg is the
+    pre-plan serving stack (module forwards over strict micro-batches); the
+    fused leg coalesces the flush into one megabatch and replays the cached
+    plan.  The plan is recorded (and validated) by an untimed priming call —
+    the counters assert the timed flushes replayed it, never re-recorded.
+    """
+    rng = np.random.default_rng(11)
+    working = rng.choice(NUM_NODES, size=PLAN_FLUSH, replace=False)
+
+    session = GraphSession(csr, features)
+    unfused_engine = InferenceEngine(
+        model, session, ServeConfig(fanouts=FANOUTS, cache=False, plan=False)
+    )
+    unfused_batcher = RequestBatcher(
+        unfused_engine, max_batch_size=PLAN_MICRO_BATCH, coalesce_batches=1
+    )
+    unfused_seconds = None
+    for _ in range(PLAN_REPEATS):
+        elapsed, unfused_rows = _flush_once(unfused_batcher, working)
+        unfused_seconds = elapsed if unfused_seconds is None else min(
+            unfused_seconds, elapsed
+        )
+
+    plan_cache = PlanCache()
+    fused_engine = InferenceEngine(
+        model,
+        GraphSession(csr, features),
+        ServeConfig(fanouts=FANOUTS, cache=False, megabatch_segment=PLAN_FLUSH),
+        plan_cache=plan_cache,
+    )
+    fused_engine.predict_logits(working[:8])  # prime: record + validate once
+    fused_batcher = RequestBatcher(
+        fused_engine,
+        max_batch_size=PLAN_MICRO_BATCH,
+        coalesce_batches=PLAN_FLUSH // PLAN_MICRO_BATCH,
+    )
+    fused_seconds = None
+    for _ in range(PLAN_REPEATS):
+        elapsed, fused_rows = _flush_once(fused_batcher, working)
+        fused_seconds = elapsed if fused_seconds is None else min(
+            fused_seconds, elapsed
+        )
+
+    np.testing.assert_allclose(fused_rows, unfused_rows, rtol=0.0, atol=1e-8)
+
+    # Per-op dispatch accounting: a replay runs the plan's flat kernel list
+    # once per megabatch; the unfused leg walks the module graph once per
+    # micro-batch, dispatching the same kernel sequence each time.
+    plan = record_plan(model)
+    micro_batches = PLAN_FLUSH // PLAN_MICRO_BATCH
+    stats = fused_engine.cache_stats
+    return {
+        "unfused_seconds": unfused_seconds,
+        "fused_seconds": fused_seconds,
+        "speedup": unfused_seconds / fused_seconds,
+        "unfused_rps": PLAN_FLUSH / unfused_seconds,
+        "fused_rps": PLAN_FLUSH / fused_seconds,
+        "op_count": plan.op_count,
+        "unfused_dispatches": micro_batches * plan.op_count,
+        "fused_dispatches": plan.op_count,
+        "unfused_spmm": micro_batches * plan.num_layers,
+        "fused_spmm": plan.num_layers,
+        "plans_recorded": stats.plans_recorded,
+        "plan_replays": stats.plan_replays,
+        "plan_fallbacks": stats.plan_fallbacks,
+        "mean_megabatch_size": stats.mean_megabatch_size,
+    }
+
+
 def _report():
     csr, features, model = _setup()
     with use_backend("sparse"):
         naive_rps = _naive_rps(model, features, csr)
         served = _served_metrics(model, features, csr)
+        plan = _plan_comparison(csr, features, model)
     sampling = _sampler_comparison(csr)
-    return {"naive_rps": naive_rps, **served, "sampling": sampling}
+    return {"naive_rps": naive_rps, **served, "sampling": sampling, "plan": plan}
 
 
 def test_serving_throughput(benchmark):
@@ -182,6 +281,22 @@ def test_serving_throughput(benchmark):
         f"vectorised {sampling['vector_seconds'] * 1e3:.1f}ms "
         f"({sampling['speedup']:.1f}×)"
     )
+    plan = metrics["plan"]
+    print(
+        f"cold-miss flush ({PLAN_FLUSH} requests): "
+        f"unfused {plan['unfused_seconds'] * 1e3:.1f}ms "
+        f"({plan['unfused_rps']:.0f} req/s) → "
+        f"fused {plan['fused_seconds'] * 1e3:.1f}ms "
+        f"({plan['fused_rps']:.0f} req/s)  {plan['speedup']:.2f}×"
+    )
+    print(
+        f"  dispatches/flush: unfused {plan['unfused_dispatches']} "
+        f"({plan['unfused_spmm']} spmm) → fused {plan['fused_dispatches']} "
+        f"({plan['fused_spmm']} spmm, {plan['op_count']} plan ops); "
+        f"plans recorded {plan['plans_recorded']}, "
+        f"replays {plan['plan_replays']}, "
+        f"fallbacks {plan['plan_fallbacks']}"
+    )
 
     speedup = metrics["warm_rps"] / metrics["naive_rps"]
     assert speedup >= MIN_SPEEDUP, (
@@ -192,3 +307,12 @@ def test_serving_throughput(benchmark):
     assert sampling["speedup"] >= 2.0, (
         f"vectorised sampler speedup {sampling['speedup']:.1f}× < 2×"
     )
+    # Fused plan replay must carry the cold-miss path (ISSUE 7), and the
+    # counters must prove the timed flushes replayed one cached plan.
+    assert plan["speedup"] >= PLAN_MIN_SPEEDUP, (
+        f"fused cold-miss flush is only {plan['speedup']:.2f}× the unfused "
+        f"path (required ≥ {PLAN_MIN_SPEEDUP}×)"
+    )
+    assert plan["plans_recorded"] == 1, "plan must be recorded exactly once"
+    assert plan["plan_replays"] >= PLAN_REPEATS, "timed flushes must replay"
+    assert plan["plan_fallbacks"] == 0, "no fused flush may fall back"

@@ -87,6 +87,26 @@ class ClusterStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    @property
+    def plans_recorded(self) -> int:
+        return sum(shard.get("plans_recorded", 0) for shard in self.shards)
+
+    @property
+    def plan_replays(self) -> int:
+        return sum(shard.get("plan_replays", 0) for shard in self.shards)
+
+    @property
+    def plan_fallbacks(self) -> int:
+        return sum(shard.get("plan_fallbacks", 0) for shard in self.shards)
+
+    @property
+    def megabatches(self) -> int:
+        return sum(shard.get("megabatches", 0) for shard in self.shards)
+
+    @property
+    def megabatch_nodes(self) -> int:
+        return sum(shard.get("megabatch_nodes", 0) for shard in self.shards)
+
 
 def _rows_update(
     new_csr: CSRMatrix, refresh: np.ndarray, clear: np.ndarray

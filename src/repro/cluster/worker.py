@@ -193,7 +193,7 @@ class ShardWorker:
         return session.version
 
     def stats(self) -> Dict:
-        """Cache + throughput counters of this replica."""
+        """Cache + throughput + fused-plan counters of this replica."""
         cache = self.engine.cache_stats
         owned = int(np.count_nonzero(self._owned_mask))
         return {
@@ -206,6 +206,11 @@ class ShardWorker:
             "misses": 0 if cache is None else cache.misses,
             "invalidated": 0 if cache is None else cache.invalidated,
             "cache_size": 0 if cache is None else cache.size,
+            "plans_recorded": 0 if cache is None else cache.plans_recorded,
+            "plan_replays": 0 if cache is None else cache.plan_replays,
+            "plan_fallbacks": 0 if cache is None else cache.plan_fallbacks,
+            "megabatches": 0 if cache is None else cache.megabatches,
+            "megabatch_nodes": 0 if cache is None else cache.megabatch_nodes,
         }
 
     def handle(self, command: str, payload) -> object:

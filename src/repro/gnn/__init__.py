@@ -16,6 +16,19 @@ from repro.gnn.normalization import (
     row_normalize_features,
 )
 from repro.gnn.sampling import BatchSpec, NeighborSampler, SampledBlock, block_propagation
+from repro.gnn.plan import (
+    BufferPool,
+    InferencePlan,
+    PackedBatch,
+    PackedLayer,
+    PlanCache,
+    PlanRecorder,
+    PlanUnsupported,
+    pack_blocks,
+    plan_params_hash,
+    record_plan,
+    shared_plan_cache,
+)
 from repro.gnn.inference import ego_logits, resolve_fanouts, sampler_for
 from repro.gnn.trainer import Trainer, TrainConfig, TrainResult
 from repro.gnn.evaluation import evaluate_accuracy, predict_probabilities, predict_labels
@@ -44,6 +57,17 @@ __all__ = [
     "NeighborSampler",
     "SampledBlock",
     "block_propagation",
+    "BufferPool",
+    "InferencePlan",
+    "PackedBatch",
+    "PackedLayer",
+    "PlanCache",
+    "PlanRecorder",
+    "PlanUnsupported",
+    "pack_blocks",
+    "plan_params_hash",
+    "record_plan",
+    "shared_plan_cache",
     "ego_logits",
     "resolve_fanouts",
     "sampler_for",

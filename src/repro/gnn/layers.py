@@ -63,6 +63,12 @@ class GCNConv(Module):
             out = out + self.bias
         return out
 
+    def plan_kernels(self, recorder, kind: str = "gcn") -> None:
+        """Record the eval forward: transform, propagate, bias — in order."""
+        recorder.matmul(self.weight)
+        recorder.propagate(kind)
+        recorder.bias(self.bias)
+
 
 class GATConv(Module):
     """Multi-head graph attention layer (Velickovic et al., 2018).
@@ -179,3 +185,7 @@ class SAGEConv(Module):
         if self.bias is not None:
             out = out + self.bias
         return out
+
+    def plan_kernels(self, recorder, kind: str = "mean_noself") -> None:
+        """Record the fused self+neighbour transform as one SAGE kernel."""
+        recorder.sage(self.weight_self, self.weight_neighbor, self.bias, kind)

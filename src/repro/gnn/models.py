@@ -65,6 +65,17 @@ class GNNModel(Module):
             f"{type(self).__name__} has no neighbour-sampled forward path"
         )
 
+    def record_inference_plan(self, recorder) -> None:
+        """Trace the sampled eval-mode forward into ``recorder``.
+
+        Models whose :meth:`forward_blocks` is a fixed kernel sequence
+        override this (see ``repro.gnn.plan``); the default declares the
+        model untraceable, which keeps it on the unfused serving path.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no flat inference-kernel decomposition"
+        )
+
     def _inference_logits(self, forward: Callable[[], Tensor]) -> np.ndarray:
         """Run ``forward`` in eval mode off the tape, restoring train mode."""
         was_training = self.training
@@ -154,6 +165,15 @@ class GCN(GNNModel):
                 x = F.relu(x)
                 x = self.dropout(x)
         return x
+
+    def record_inference_plan(self, recorder) -> None:
+        """Mirror :meth:`forward_blocks` in eval mode, kernel by kernel."""
+        for index in range(self.num_layers):
+            layer: GCNConv = getattr(self, f"conv{index}")
+            layer.plan_kernels(recorder, kind="gcn")
+            if index < self.num_layers - 1:
+                recorder.relu()
+                self.dropout.plan_kernels(recorder)
 
 
 class GAT(GNNModel):
@@ -308,6 +328,14 @@ class GraphSAGE(GNNModel):
         return self.conv1(
             x, blocks[1].operator("mean_noself"), x_dst=x[: blocks[1].num_dst]
         )
+
+    def record_inference_plan(self, recorder) -> None:
+        """Mirror :meth:`forward_blocks` in eval mode, kernel by kernel."""
+        self.conv0.plan_kernels(recorder, kind="mean_noself")
+        recorder.relu()
+        recorder.normalize_stable()
+        self.dropout.plan_kernels(recorder)
+        self.conv1.plan_kernels(recorder, kind="mean_noself")
 
 
 ModelFactory = Callable[..., GNNModel]

@@ -119,6 +119,21 @@ class Module:
     def __call__(self, *args, **kwargs):
         return self.forward(*args, **kwargs)
 
+    # ------------------------------------------------------------------ #
+    # Inference-plan kernel extraction
+    # ------------------------------------------------------------------ #
+    def plan_kernels(self, recorder) -> None:
+        """Append this module's inference-time kernels to ``recorder``.
+
+        Used by ``repro.gnn.plan`` to trace a model's eval-mode forward into
+        a flat replayable kernel list.  Modules whose inference behaviour is
+        a fixed sequence of primitive kernels override this; the default
+        marks the module as untraceable.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no flat inference-kernel decomposition"
+        )
+
 
 class Linear(Module):
     """Affine layer ``y = x @ W + b`` with Glorot initialisation."""
@@ -152,6 +167,10 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def plan_kernels(self, recorder) -> None:
+        recorder.matmul(self.weight)
+        recorder.bias(self.bias)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Linear({self.in_features}, {self.out_features}, bias={self.bias is not None})"
 
@@ -171,6 +190,9 @@ class Dropout(Module):
 
         return dropout(x, p=self.p, training=self.training, rng=self._rng)
 
+    def plan_kernels(self, recorder) -> None:
+        """Dropout is the identity at inference time: record nothing."""
+
 
 class Sequential(Module):
     """Run modules in order, feeding each output to the next module."""
@@ -187,6 +209,10 @@ class Sequential(Module):
         for name in self._order:
             x = getattr(self, name)(x)
         return x
+
+    def plan_kernels(self, recorder) -> None:
+        for name in self._order:
+            getattr(self, name).plan_kernels(recorder)
 
     def __len__(self) -> int:
         return len(self._order)

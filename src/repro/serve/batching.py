@@ -38,10 +38,17 @@ __all__ = ["BatcherStats", "RequestBatcher"]
 
 @dataclass(frozen=True)
 class BatcherStats:
-    """Throughput bookkeeping of a :class:`RequestBatcher`."""
+    """Throughput bookkeeping of a :class:`RequestBatcher`.
+
+    ``megabatches`` counts the pops that coalesced more than one
+    ``max_batch_size`` micro-batch into a single engine call;
+    ``largest_batch`` is the biggest single pop observed.
+    """
 
     requests: int
     batches: int
+    megabatches: int = 0
+    largest_batch: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -49,13 +56,29 @@ class BatcherStats:
 
 
 class RequestBatcher:
-    """Coalesces prediction requests into micro-batches over one engine."""
+    """Coalesces prediction requests into micro-batches over one engine.
 
-    def __init__(self, engine: InferenceEngine, max_batch_size: int = 64) -> None:
+    ``coalesce_batches`` lets a deep queue drain in megabatches of up to
+    ``max_batch_size * coalesce_batches`` requests per engine call — the
+    engine's fused plan replay then packs the whole megabatch into one
+    block-diagonal operator per layer (one spmm per layer per flush instead
+    of one per micro-batch).  ``coalesce_batches=1`` restores the strict
+    per-micro-batch behaviour.
+    """
+
+    def __init__(
+        self,
+        engine: InferenceEngine,
+        max_batch_size: int = 64,
+        coalesce_batches: int = 8,
+    ) -> None:
         if max_batch_size <= 0:
             raise ValueError("max_batch_size must be positive")
+        if coalesce_batches <= 0:
+            raise ValueError("coalesce_batches must be positive")
         self.engine = engine
         self.max_batch_size = int(max_batch_size)
+        self.coalesce_batches = int(coalesce_batches)
         self._queue: "Deque[Tuple[int, Future]]" = deque()
         self._lock = threading.Lock()
         self._wakeup = threading.Event()
@@ -63,6 +86,8 @@ class RequestBatcher:
         self._worker: Optional[threading.Thread] = None
         self._requests = 0
         self._batches = 0
+        self._megabatches = 0
+        self._largest_batch = 0
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -132,20 +157,29 @@ class RequestBatcher:
     @property
     def stats(self) -> BatcherStats:
         with self._lock:
-            return BatcherStats(requests=self._requests, batches=self._batches)
+            return BatcherStats(
+                requests=self._requests,
+                batches=self._batches,
+                megabatches=self._megabatches,
+                largest_batch=self._largest_batch,
+            )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
     def _pop_batch(self) -> List[Tuple[int, Future]]:
+        limit = self.max_batch_size * self.coalesce_batches
         with self._lock:
             if not self._queue:
                 return []
             batch = [
                 self._queue.popleft()
-                for _ in range(min(self.max_batch_size, len(self._queue)))
+                for _ in range(min(limit, len(self._queue)))
             ]
             self._batches += 1
+            if len(batch) > self.max_batch_size:
+                self._megabatches += 1
+            self._largest_batch = max(self._largest_batch, len(batch))
             return batch
 
     def _answer(self, batch: List[Tuple[int, Future]]) -> None:

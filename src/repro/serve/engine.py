@@ -28,16 +28,27 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.gnn.inference import resolve_fanouts
 from repro.gnn.models import GNNModel
+from repro.gnn.plan import (
+    BufferPool,
+    PlanCache,
+    PlanUnsupported,
+    pack_blocks,
+    plan_params_hash,
+    record_plan,
+    shared_plan_cache,
+)
 from repro.gnn.sampling import NeighborSampler
 from repro.graphs.khop import khop_frontier
 from repro.serve.session import GraphSession, MutationEvent
+from repro.sparse.backend import get_backend_name
+from repro.utils.cache import stable_hash
 
 __all__ = [
     "ServeConfig",
@@ -68,16 +79,27 @@ class ServeConfig:
     each request's receptive field for approximate low-latency serving.
     ``seed`` keys the deterministic sampler; ``cache_size`` bounds the logit
     LRU (``cache=False`` disables caching entirely).
+
+    ``plan=True`` serves miss batches by replaying a recorded fused
+    :class:`~repro.gnn.plan.InferencePlan` (falling back transparently for
+    models without one); ``megabatch_segment`` bounds the node count of one
+    ego-block sampling segment inside a megabatched miss flush — larger
+    segments deduplicate more of the overlapping receptive fields before the
+    block-diagonal pack, at the price of a bigger working buffer.
     """
 
     fanouts: Optional[Tuple[Optional[int], ...]] = None
     seed: int = 0
     cache: bool = True
     cache_size: int = 65536
+    plan: bool = True
+    megabatch_segment: int = 512
 
     def __post_init__(self) -> None:
         if self.cache_size <= 0:
             raise ValueError("cache_size must be positive")
+        if self.megabatch_segment <= 0:
+            raise ValueError("megabatch_segment must be positive")
         if self.fanouts is not None:
             object.__setattr__(self, "fanouts", tuple(self.fanouts))
             for fanout in self.fanouts:
@@ -87,17 +109,34 @@ class ServeConfig:
 
 @dataclass(frozen=True)
 class LogitCacheStats:
-    """Counters of a :class:`LogitCache`."""
+    """Counters of a :class:`LogitCache`, plus the owning engine's
+    fused-plan counters (zero when the engine serves unfused).
+
+    ``plans_recorded`` counts fresh plan recordings (cache-key misses),
+    ``plan_replays`` miss batches served by replaying an already-recorded
+    plan, ``plan_fallbacks`` miss batches that fell back to the unfused
+    module-tree forward, ``megabatches``/``megabatch_nodes`` the number of
+    packed replays and the total nodes they covered.
+    """
 
     hits: int
     misses: int
     invalidated: int
     size: int
+    plans_recorded: int = 0
+    plan_replays: int = 0
+    plan_fallbacks: int = 0
+    megabatches: int = 0
+    megabatch_nodes: int = 0
 
     @property
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    @property
+    def mean_megabatch_size(self) -> float:
+        return self.megabatch_nodes / self.megabatches if self.megabatches else 0.0
 
 
 class LogitCache:
@@ -201,6 +240,7 @@ class InferenceEngine:
         model: GNNModel,
         session: GraphSession,
         config: Optional[ServeConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
     ) -> None:
         self.model = model
         self.session = session
@@ -221,6 +261,26 @@ class InferenceEngine:
         self._sampler = self._build_sampler()
         self._lock = threading.Lock()
         self._last_revision = session.revision
+        # Fused-plan replay state.  The plan cache is shared across engines
+        # (and shard replicas in one process) by default; the buffer pool is
+        # per-engine and guarded, with the rest of the plan state, by its own
+        # lock so replays never race on scratch memory.
+        self._plan_cache = plan_cache if plan_cache is not None else shared_plan_cache()
+        self._plan_lock = threading.Lock()
+        self._buffers = BufferPool()
+        self._plan_unsupported = False
+        self._params_ids: Optional[Tuple[int, ...]] = None
+        self._params_hash: Optional[str] = None
+        self._sig_hash: Optional[str] = None
+        self._plans_recorded = 0
+        self._plan_replays = 0
+        self._plan_fallbacks = 0
+        self._megabatches = 0
+        self._megabatch_nodes = 0
+        # Revision-keyed memo of the GAT full-graph fallback forward, so a
+        # batcher flush split into several miss batches still pays exactly
+        # one Θ(N²) forward per structure revision.
+        self._full_memo: Optional[Tuple[int, np.ndarray]] = None
         session.add_listener(self._on_mutation)
 
     # ------------------------------------------------------------------ #
@@ -247,9 +307,7 @@ class InferenceEngine:
                 # Full-graph fallback (GAT): the forward produced every row
                 # anyway, so cache them all — one Θ(N²) forward amortises
                 # over the whole node set instead of one miss batch.
-                full = self.model.predict_logits(
-                    self.session.features, self.session.csr
-                )
+                full = self._full_graph_logits(revision)
                 if self._cache is not None:
                     self._cache.store(range(full.shape[0]), revision, full)
                 rows = full[miss_nodes]
@@ -270,8 +328,26 @@ class InferenceEngine:
         return self.predict_logits(nodes).argmax(axis=1)
 
     @property
-    def cache_stats(self) -> Optional[LogitCacheStats]:
-        return None if self._cache is None else self._cache.stats
+    def cache_stats(self) -> LogitCacheStats:
+        """Logit-cache counters merged with the engine's plan counters.
+
+        Always an object: with ``cache=False`` the cache fields are zero and
+        only the plan counters are live.
+        """
+        base = (
+            LogitCacheStats(hits=0, misses=0, invalidated=0, size=0)
+            if self._cache is None
+            else self._cache.stats
+        )
+        with self._plan_lock:
+            return replace(
+                base,
+                plans_recorded=self._plans_recorded,
+                plan_replays=self._plan_replays,
+                plan_fallbacks=self._plan_fallbacks,
+                megabatches=self._megabatches,
+                megabatch_nodes=self._megabatch_nodes,
+            )
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -286,11 +362,116 @@ class InferenceEngine:
         # mutations from zero, unlike process-global revision ids.
         return (self.config.seed << 20) ^ self.session.version
 
+    def _full_graph_logits(self, revision: int) -> np.ndarray:
+        """One full-graph fallback forward per structure revision, memoised
+        so every miss batch of a flush (and every later cold call at the same
+        revision) reuses it."""
+        with self._plan_lock:
+            memo = self._full_memo
+            if memo is not None and memo[0] == revision:
+                return memo[1]
+        full = self.model.predict_logits(self.session.features, self.session.csr)
+        with self._plan_lock:
+            self._full_memo = (revision, full)
+        return full
+
+    def _plan_key(self) -> Tuple[str, str, str]:
+        """``(architecture hash, parameter content hash, backend)`` — the
+        shared plan-cache key for this engine's model right now.
+
+        The parameter hash is recomputed only when a parameter array is
+        rebound (``load_state_dict`` copies into fresh arrays), detected via
+        an ``id()`` snapshot — O(#params) per miss batch, content hashing
+        only on actual hot-swaps.  Caller holds ``_plan_lock``.
+        """
+        params = self.model.named_parameters()
+        ids = tuple(id(param.data) for _, param in params)
+        if ids != self._params_ids:
+            self._params_ids = ids
+            self._params_hash = plan_params_hash(self.model)
+            self._plan_unsupported = False
+        if self._sig_hash is None:
+            from repro.serve.registry import model_signature
+
+            try:
+                self._sig_hash = stable_hash(model_signature(self.model))
+            except TypeError:
+                # Unregistered architecture: fall back to a structural key.
+                self._sig_hash = stable_hash(
+                    [type(self.model).__name__]
+                    + [
+                        [name, list(param.data.shape)]
+                        for name, param in params
+                    ]
+                )
+        backend = "dense" if get_backend_name() == "dense" else "sparse"
+        return (self._sig_hash, self._params_hash, backend)
+
     def _compute(self, nodes: np.ndarray) -> np.ndarray:
         with self._lock:
             sampler = self._sampler
-        blocks = sampler.ego_blocks(nodes, self._fanouts, key=self._sampling_key())
-        return self.model.predict_logits_blocks(self.session.features, blocks)
+        key = self._sampling_key()
+        if not self.config.plan:
+            blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
+            return self.model.predict_logits_blocks(self.session.features, blocks)
+
+        # Fused path: resolve (or record) the plan, sample the miss batch in
+        # megabatch segments, pack them into one block-diagonal operator
+        # stack and replay.  A fresh recording is validated against the
+        # unfused forward over this very batch before it is trusted.
+        with self._plan_lock:
+            if self._plan_unsupported:
+                plan = None
+                fresh = False
+            else:
+                plan_key = self._plan_key()
+                plan = self._plan_cache.get(plan_key)
+                fresh = False
+                if plan is None:
+                    try:
+                        plan = record_plan(self.model)
+                        fresh = True
+                    except PlanUnsupported:
+                        self._plan_unsupported = True
+        if plan is None:
+            with self._plan_lock:
+                self._plan_fallbacks += 1
+            blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
+            return self.model.predict_logits_blocks(self.session.features, blocks)
+
+        segment = self.config.megabatch_segment
+        stacks = [
+            sampler.ego_blocks(nodes[start : start + segment], self._fanouts, key=key)
+            for start in range(0, nodes.size, segment)
+        ]
+        dense = get_backend_name() == "dense"
+        packed = pack_blocks(stacks, plan.kinds, dense=dense)
+        with self._plan_lock:
+            rows = plan.replay(self.session.features, packed, self._buffers)
+            if not fresh:
+                self._plan_replays += 1
+                self._megabatches += 1
+                self._megabatch_nodes += int(nodes.size)
+                return rows
+        # First use of a fresh recording: check it against the unfused
+        # forward on this batch before caching it for replay.
+        reference = np.vstack(
+            [
+                self.model.predict_logits_blocks(self.session.features, stack)
+                for stack in stacks
+            ]
+        )
+        if np.allclose(rows, reference, rtol=0.0, atol=1e-8):
+            self._plan_cache.put(plan_key, plan)
+            with self._plan_lock:
+                self._plans_recorded += 1
+                self._megabatches += 1
+                self._megabatch_nodes += int(nodes.size)
+            return rows
+        with self._plan_lock:  # pragma: no cover - defensive guard
+            self._plan_unsupported = True
+            self._plan_fallbacks += 1
+        return reference
 
     def _on_mutation(self, event: MutationEvent) -> None:
         hops = self._layers if self._layers is not None else DEFAULT_FALLBACK_HOPS
@@ -303,6 +484,11 @@ class InferenceEngine:
                 self._sampler = self._sampler.with_mutation(event)
             expected = self._last_revision
             self._last_revision = event.revision
+        with self._plan_lock:
+            # The memoised full-graph fallback was computed over the old
+            # structure; the revision key already prevents reuse, dropping it
+            # just releases the memory promptly.
+            self._full_memo = None
         if self._cache is None:
             return
         if event.endpoints.size == 0:

@@ -103,6 +103,21 @@ class ModelRegistry:
     def __init__(self, root: str = DEFAULT_REGISTRY_ROOT) -> None:
         self.root = root
 
+    @staticmethod
+    def plan_cache():
+        """The process-wide fused inference-plan cache.
+
+        Plans are keyed by ``(architecture signature hash, parameter content
+        hash, backend)`` — the same :func:`model_signature` that names a
+        registry entry — so every engine replica serving one registry version
+        records the plan once and replays it thereafter, and loading a new
+        version (new parameter hash) records a fresh plan instead of
+        replaying stale weights.
+        """
+        from repro.gnn.plan import shared_plan_cache
+
+        return shared_plan_cache()
+
     # ------------------------------------------------------------------ #
     # Writing
     # ------------------------------------------------------------------ #

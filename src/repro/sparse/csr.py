@@ -114,6 +114,28 @@ class CSRMatrix:
     # Construction
     # ------------------------------------------------------------------ #
     @classmethod
+    def _from_parts(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        data: np.ndarray,
+        shape: Tuple[int, int],
+    ) -> "CSRMatrix":
+        """Wrap already-valid CSR arrays without the O(n + nnz) checks.
+
+        Internal fast path for kernels that construct the arrays themselves
+        (block packing, plan replay): the caller guarantees the invariants the
+        public constructor would re-verify.  The arrays are adopted as-is.
+        """
+        matrix = object.__new__(cls)
+        matrix.indptr = indptr
+        matrix.indices = indices
+        matrix.data = data
+        matrix.shape = (int(shape[0]), int(shape[1]))
+        matrix._transpose_cache = None
+        return matrix
+
+    @classmethod
     def from_coo(
         cls,
         rows: np.ndarray,

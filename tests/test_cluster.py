@@ -496,3 +496,56 @@ class TestProcessWorkers:
                 workers="process",
                 model_ref=(str(tmp_path), "absent-model", None),
             )
+
+
+# --------------------------------------------------------------------- #
+# Fused plan replay across shards
+# --------------------------------------------------------------------- #
+class TestClusterPlans:
+    def test_two_shard_serve_under_plan_replay(self, small_graph, gcn_model):
+        """2-shard fused serving equals a single-process engine, with the
+        plan demonstrably replayed (not re-recorded) after its first use."""
+        csr, features = small_graph
+        session = GraphSession(csr, features)
+        nodes = np.random.default_rng(3).integers(0, NUM_NODES, size=90)
+        with ShardRouter(gcn_model, session, 2, workers="inproc") as router:
+            reference = _fresh_reference(gcn_model, session)
+            np.testing.assert_allclose(
+                router.predict_logits(nodes),
+                reference.predict_logits(nodes),
+                atol=1e-8,
+            )
+            router.predict_logits(nodes[::-1])
+            stats = router.stats()
+            assert stats.plan_fallbacks == 0
+            assert stats.plans_recorded + stats.plan_replays >= 2
+            assert stats.plan_replays >= 1, "warm batches must replay"
+            assert stats.megabatches == stats.plans_recorded + stats.plan_replays
+            assert stats.megabatch_nodes > 0
+            # After mutation the replay path stays consistent too.
+            pairs = _cross_shard_absent_pairs(csr, router.owners, 2, seed=5)
+            session.add_edges(pairs)
+            np.testing.assert_allclose(
+                router.predict_logits(nodes),
+                _fresh_reference(gcn_model, session).predict_logits(nodes),
+                atol=1e-8,
+            )
+
+    def test_worker_stats_carry_plan_counters(self, small_graph, gcn_model):
+        csr, features = small_graph
+        partition = partition_graph(csr, features, 2, halo_hops=2)
+        worker = ShardWorker(
+            WorkerInit(partition=partition.shards[0], model=gcn_model)
+        )
+        worker.predict_logits(partition.shards[0].owned[:6])
+        stats = worker.stats()
+        for key in (
+            "plans_recorded",
+            "plan_replays",
+            "plan_fallbacks",
+            "megabatches",
+            "megabatch_nodes",
+        ):
+            assert key in stats
+        assert stats["plans_recorded"] + stats["plan_replays"] == 1
+        assert stats["megabatch_nodes"] >= 6

@@ -1,0 +1,547 @@
+"""Tests for fused inference plans (:mod:`repro.gnn.plan`).
+
+Acceptance properties:
+
+* **block-diag packing** — ``block_diag_csr`` is exactly the dense block
+  diagonal for every edge case the megabatcher produces (zero-row blocks,
+  zero-entry blocks, single-node blocks, mixed fanouts);
+* **record/replay equality** — a recorded plan replayed over packed blocks
+  reproduces ``predict_logits_blocks`` to 1e-8 (bitwise on the sparse
+  backend) for GCN (2- and 3-layer) and GraphSAGE, single- and
+  multi-segment, on both backends;
+* **engine integration** — the fused serving path equals the unfused one
+  before and after graph mutations, counters distinguish recording from
+  replay, unsupported models fall back transparently, and a registry-style
+  parameter hot-swap records a fresh plan instead of replaying stale
+  weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gnn.models import build_model
+from repro.gnn.plan import (
+    BufferPool,
+    PlanCache,
+    PlanUnsupported,
+    pack_blocks,
+    plan_params_hash,
+    record_plan,
+    shared_plan_cache,
+)
+from repro.gnn.sampling import NeighborSampler
+from repro.gnn.trainer import TrainConfig, Trainer
+from repro.serve import (
+    GraphSession,
+    InferenceEngine,
+    ModelRegistry,
+    RequestBatcher,
+    ServeConfig,
+)
+from repro.sparse.backend import use_backend
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.ops import block_diag_csr
+
+
+@pytest.fixture(scope="module")
+def plan_models(tiny_graph):
+    """Trained sampled-path models (one per architecture/depth under test)."""
+    models = {}
+    for name, kwargs in (
+        ("gcn", {}),
+        ("gcn3", {"num_layers": 3}),
+        ("graphsage", {}),
+    ):
+        model = build_model(
+            "gcn" if name.startswith("gcn") else name,
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+            **kwargs,
+        )
+        Trainer(model, TrainConfig(epochs=15, patience=None, track_best=False)).fit(
+            tiny_graph
+        )
+        model.eval()
+        models[name] = model
+    return models
+
+
+def _dense_block_diag(blocks):
+    rows = sum(block.shape[0] for block in blocks)
+    cols = sum(block.shape[1] for block in blocks)
+    out = np.zeros((rows, cols))
+    r = c = 0
+    for block in blocks:
+        out[r : r + block.shape[0], c : c + block.shape[1]] = block.to_dense()
+        r += block.shape[0]
+        c += block.shape[1]
+    return out
+
+
+def _random_csr(rng, rows, cols, density=0.3):
+    return CSRMatrix.from_dense((rng.random((rows, cols)) < density) * rng.random((rows, cols)))
+
+
+# --------------------------------------------------------------------- #
+# block_diag_csr
+# --------------------------------------------------------------------- #
+class TestBlockDiagCSR:
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            block_diag_csr([])
+
+    def test_single_block_passthrough(self):
+        rng = np.random.default_rng(0)
+        block = _random_csr(rng, 5, 7)
+        packed = block_diag_csr([block])
+        assert packed.shape == block.shape
+        np.testing.assert_array_equal(packed.to_dense(), block.to_dense())
+
+    def test_zero_row_block(self):
+        """A block with zero rows only shifts the column offset."""
+        rng = np.random.default_rng(1)
+        blocks = [
+            _random_csr(rng, 3, 4),
+            CSRMatrix.from_dense(np.zeros((0, 5))),
+            _random_csr(rng, 2, 2),
+        ]
+        packed = block_diag_csr(blocks)
+        assert packed.shape == (5, 11)
+        np.testing.assert_array_equal(packed.to_dense(), _dense_block_diag(blocks))
+
+    def test_zero_entry_block(self):
+        """An isolated-dst block (no neighbours at all) packs as empty rows."""
+        rng = np.random.default_rng(2)
+        blocks = [
+            _random_csr(rng, 4, 4),
+            CSRMatrix.from_dense(np.zeros((3, 6))),
+            _random_csr(rng, 2, 3),
+        ]
+        packed = block_diag_csr(blocks)
+        assert packed.nnz == blocks[0].nnz + blocks[2].nnz
+        np.testing.assert_array_equal(packed.to_dense(), _dense_block_diag(blocks))
+
+    def test_single_node_blocks(self):
+        blocks = [
+            CSRMatrix.from_dense(np.array([[2.5]])),
+            CSRMatrix.from_dense(np.array([[0.0]])),
+            CSRMatrix.from_dense(np.array([[1.0]])),
+        ]
+        packed = block_diag_csr(blocks)
+        np.testing.assert_array_equal(packed.to_dense(), _dense_block_diag(blocks))
+
+    def test_all_empty_blocks(self):
+        blocks = [
+            CSRMatrix.from_dense(np.zeros((2, 3))),
+            CSRMatrix.from_dense(np.zeros((1, 4))),
+        ]
+        packed = block_diag_csr(blocks)
+        assert packed.nnz == 0
+        assert packed.shape == (3, 7)
+        np.testing.assert_array_equal(packed.to_dense(), np.zeros((3, 7)))
+
+    def test_mixed_fanouts_values_exact(self):
+        """Values and within-row order survive packing bit-for-bit."""
+        rng = np.random.default_rng(3)
+        blocks = [_random_csr(rng, rng.integers(1, 9), rng.integers(1, 9)) for _ in range(6)]
+        packed = block_diag_csr(blocks)
+        np.testing.assert_array_equal(packed.to_dense(), _dense_block_diag(blocks))
+        offset = 0
+        for block in blocks:
+            np.testing.assert_array_equal(
+                packed.data[offset : offset + block.nnz], block.data
+            )
+            offset += block.nnz
+
+    def test_spmm_equals_per_block_spmm(self):
+        rng = np.random.default_rng(4)
+        blocks = [_random_csr(rng, 5, 6), _random_csr(rng, 3, 2), _random_csr(rng, 4, 7)]
+        feats = [rng.random((block.shape[1], 3)) for block in blocks]
+        packed = block_diag_csr(blocks)
+        got = packed.matmul_dense(np.vstack(feats))
+        expected = np.vstack([b.matmul_dense(f) for b, f in zip(blocks, feats)])
+        np.testing.assert_array_equal(got, expected)
+
+
+# --------------------------------------------------------------------- #
+# Recording
+# --------------------------------------------------------------------- #
+class TestRecording:
+    def test_gcn_plan_shape(self, plan_models):
+        plan = record_plan(plan_models["gcn"])
+        assert plan.kinds == ("gcn", "gcn")
+        # matmul+prop+bias per layer, relu between layers
+        assert [op for op, _ in plan.ops] == [
+            "matmul", "prop", "bias", "relu", "matmul", "prop", "bias",
+        ]
+
+    def test_gcn3_plan_depth(self, plan_models):
+        plan = record_plan(plan_models["gcn3"])
+        assert plan.num_layers == 3
+        assert plan.kinds == ("gcn", "gcn", "gcn")
+
+    def test_sage_plan_shape(self, plan_models):
+        plan = record_plan(plan_models["graphsage"])
+        assert plan.kinds == ("mean_noself", "mean_noself")
+        assert [op for op, _ in plan.ops] == ["sage", "relu", "normalize", "sage"]
+
+    def test_gat_unsupported(self, tiny_graph):
+        model = build_model(
+            "gat",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        with pytest.raises(PlanUnsupported):
+            record_plan(model)
+
+    def test_params_hash_tracks_content(self, plan_models):
+        model = plan_models["gcn"]
+        before = plan_params_hash(model)
+        state = model.state_dict()
+        perturbed = {k: v + 1e-3 for k, v in state.items()}
+        model.load_state_dict(perturbed)
+        try:
+            assert plan_params_hash(model) != before
+        finally:
+            model.load_state_dict(state)
+        assert plan_params_hash(model) == before
+
+
+# --------------------------------------------------------------------- #
+# Replay
+# --------------------------------------------------------------------- #
+class TestReplay:
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("name", ["gcn", "gcn3", "graphsage"])
+    def test_replay_matches_unfused(self, tiny_graph, plan_models, backend, name):
+        model = plan_models[name]
+        plan = record_plan(model)
+        csr = CSRMatrix.from_dense(tiny_graph.adjacency)
+        sampler = NeighborSampler(csr, seed=0)
+        fanouts = (None,) * plan.num_layers
+        rng = np.random.default_rng(5)
+        nodes = rng.choice(tiny_graph.num_nodes, size=48, replace=False)
+        with use_backend(backend):
+            # Single segment and a 4-way megabatch must agree with the
+            # unfused forward over exactly the same blocks.
+            whole = sampler.ego_blocks(nodes, fanouts, key=3)
+            reference = model.predict_logits_blocks(tiny_graph.features, whole)
+            packed = pack_blocks([whole], plan.kinds, dense=backend == "dense")
+            np.testing.assert_allclose(
+                plan.replay(tiny_graph.features, packed, BufferPool()),
+                reference,
+                rtol=0,
+                atol=1e-8,
+            )
+            stacks = [
+                sampler.ego_blocks(chunk, fanouts, key=3)
+                for chunk in np.array_split(nodes, 4)
+            ]
+            packed = pack_blocks(stacks, plan.kinds, dense=backend == "dense")
+            fused = plan.replay(tiny_graph.features, packed, BufferPool())
+            unfused = np.vstack(
+                [
+                    model.predict_logits_blocks(tiny_graph.features, stack)
+                    for stack in stacks
+                ]
+            )
+            np.testing.assert_allclose(fused, unfused, rtol=0, atol=1e-8)
+            if backend == "sparse":
+                np.testing.assert_array_equal(fused, unfused)
+
+    def test_replay_sampled_fanouts(self, tiny_graph, plan_models):
+        model = plan_models["graphsage"]
+        plan = record_plan(model)
+        csr = CSRMatrix.from_dense(tiny_graph.adjacency)
+        sampler = NeighborSampler(csr, seed=1)
+        nodes = np.arange(30)
+        with use_backend("sparse"):
+            stacks = [
+                sampler.ego_blocks(chunk, (3, 3), key=9)
+                for chunk in np.array_split(nodes, 3)
+            ]
+            packed = pack_blocks(stacks, plan.kinds, dense=False)
+            fused = plan.replay(tiny_graph.features, packed, BufferPool())
+            unfused = np.vstack(
+                [
+                    model.predict_logits_blocks(tiny_graph.features, stack)
+                    for stack in stacks
+                ]
+            )
+        np.testing.assert_array_equal(fused, unfused)
+
+    def test_pack_rejects_mismatched_depth(self, tiny_graph, plan_models):
+        plan = record_plan(plan_models["gcn"])
+        csr = CSRMatrix.from_dense(tiny_graph.adjacency)
+        sampler = NeighborSampler(csr, seed=0)
+        stack = sampler.ego_blocks(np.arange(4), (None,) * 2, key=0)
+        with pytest.raises(ValueError, match="depth"):
+            pack_blocks([stack[:1]], plan.kinds)
+        with pytest.raises(ValueError, match="at least one segment"):
+            pack_blocks([], plan.kinds)
+
+    def test_buffer_pool_buckets(self):
+        pool = BufferPool()
+        first = pool.take(5, 3)
+        assert first.shape == (5, 3)
+        again = pool.take(7, 3)
+        # 5 and 7 share the rows-8 bucket: one underlying buffer.
+        assert again.base is first.base or again.base is first
+        assert len(pool) == 1
+        other = pool.take(9, 3)
+        assert other.shape == (9, 3)
+        assert len(pool) == 2
+
+
+# --------------------------------------------------------------------- #
+# Engine integration
+# --------------------------------------------------------------------- #
+class TestEnginePlans:
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    @pytest.mark.parametrize("name", ["gcn", "graphsage"])
+    def test_fused_serving_matches_unfused(
+        self, tiny_graph, plan_models, backend, name
+    ):
+        """Fused == unfused through the whole engine, across mutations."""
+        model = plan_models[name]
+        with use_backend(backend):
+            fused_session = GraphSession.from_graph(tiny_graph.copy())
+            unfused_session = GraphSession.from_graph(tiny_graph.copy())
+            fused = InferenceEngine(
+                model,
+                fused_session,
+                ServeConfig(cache=False, megabatch_segment=16),
+                plan_cache=PlanCache(),
+            )
+            unfused = InferenceEngine(
+                model, unfused_session, ServeConfig(cache=False, plan=False)
+            )
+            nodes = np.arange(tiny_graph.num_nodes)
+            np.testing.assert_allclose(
+                fused.predict_logits(nodes),
+                unfused.predict_logits(nodes),
+                rtol=0,
+                atol=1e-8,
+            )
+            pairs = tiny_graph.non_edge_sample(3, np.random.default_rng(0))
+            fused_session.add_edges(pairs)
+            unfused_session.add_edges(pairs)
+            np.testing.assert_allclose(
+                fused.predict_logits(nodes),
+                unfused.predict_logits(nodes),
+                rtol=0,
+                atol=1e-8,
+            )
+            removed = tiny_graph.edge_list()[:2]
+            fused_session.remove_edges(removed)
+            unfused_session.remove_edges(removed)
+            np.testing.assert_allclose(
+                fused.predict_logits(nodes),
+                unfused.predict_logits(nodes),
+                rtol=0,
+                atol=1e-8,
+            )
+
+    def test_counters_record_once_then_replay(self, tiny_graph, plan_models):
+        model = plan_models["gcn"]
+        session = GraphSession.from_graph(tiny_graph.copy())
+        engine = InferenceEngine(
+            model,
+            session,
+            ServeConfig(cache=False, megabatch_segment=8),
+            plan_cache=PlanCache(),
+        )
+        engine.predict_logits(np.arange(20))
+        stats = engine.cache_stats
+        assert stats.plans_recorded == 1
+        assert stats.plan_replays == 0
+        assert stats.megabatches == 1
+        assert stats.megabatch_nodes == 20
+        for start in (20, 40, 60):
+            engine.predict_logits(np.arange(start, start + 20))
+        stats = engine.cache_stats
+        assert stats.plans_recorded == 1, "plan must be recorded exactly once"
+        assert stats.plan_replays == 3
+        assert stats.plan_fallbacks == 0
+        assert stats.megabatch_nodes == 80
+        assert stats.mean_megabatch_size == 20.0
+
+    def test_plan_shared_across_engines(self, tiny_graph, plan_models):
+        """Replicas with one plan cache record once between them."""
+        model = plan_models["gcn"]
+        cache = PlanCache()
+        engines = [
+            InferenceEngine(
+                model,
+                GraphSession.from_graph(tiny_graph.copy()),
+                ServeConfig(cache=False),
+                plan_cache=cache,
+            )
+            for _ in range(2)
+        ]
+        engines[0].predict_logits(np.arange(10))
+        engines[1].predict_logits(np.arange(10))
+        assert engines[0].cache_stats.plans_recorded == 1
+        assert engines[1].cache_stats.plans_recorded == 0
+        assert engines[1].cache_stats.plan_replays == 1
+        assert len(cache) == 1
+        np.testing.assert_array_equal(
+            engines[0].predict_logits(np.arange(10)),
+            engines[1].predict_logits(np.arange(10)),
+        )
+
+    def test_hot_swap_records_fresh_plan(self, tiny_graph, plan_models, tmp_path):
+        """A registry hot-swap must not replay the old weights' plan."""
+        model = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=0,
+        )
+        model.load_state_dict(plan_models["gcn"].state_dict())
+        model.eval()
+        session = GraphSession.from_graph(tiny_graph.copy())
+        cache = PlanCache()
+        engine = InferenceEngine(
+            model, session, ServeConfig(cache=False), plan_cache=cache
+        )
+        nodes = np.arange(12)
+        before = engine.predict_logits(nodes)
+        assert engine.cache_stats.plans_recorded == 1
+
+        # Hot-swap: load different weights in place (what a registry reload
+        # does to a serving replica's model object).
+        registry = ModelRegistry(str(tmp_path))
+        other = build_model(
+            "gcn",
+            in_features=tiny_graph.num_features,
+            num_classes=tiny_graph.num_classes,
+            hidden_features=8,
+            rng=1,
+        )
+        registry.save("swap", other)
+        loaded, _ = registry.load("swap")
+        model.load_state_dict(loaded.state_dict())
+
+        after = engine.predict_logits(nodes)
+        stats = engine.cache_stats
+        assert stats.plans_recorded == 2, "swap must record a fresh plan"
+        assert len(cache) == 2
+        assert not np.allclose(before, after), "swap must change predictions"
+        expected = InferenceEngine(
+            loaded,
+            GraphSession.from_graph(tiny_graph.copy()),
+            ServeConfig(cache=False, plan=False),
+        ).predict_logits(nodes)
+        np.testing.assert_allclose(after, expected, rtol=0, atol=1e-8)
+
+    def test_plan_cache_invalidate(self, tiny_graph, plan_models):
+        cache = PlanCache()
+        engine = InferenceEngine(
+            plan_models["gcn"],
+            GraphSession.from_graph(tiny_graph.copy()),
+            ServeConfig(cache=False),
+            plan_cache=cache,
+        )
+        engine.predict_logits(np.arange(5))
+        assert len(cache) == 1
+        key = next(iter(cache._entries))
+        assert cache.invalidate(signature_hash="no-such-model") == 0
+        assert cache.invalidate(signature_hash=key[0]) == 1
+        assert len(cache) == 0
+        engine.predict_logits(np.arange(5, 10))
+        assert engine.cache_stats.plans_recorded == 2
+
+    def test_unsupported_model_falls_back(self, tiny_graph, plan_models):
+        """A model without a plan serves unfused and counts the fallback."""
+        from repro.gnn.models import GCN
+
+        class OpaqueGCN(GCN):
+            def record_inference_plan(self, recorder):
+                raise NotImplementedError("opaque by construction")
+
+        model = OpaqueGCN(
+            in_features=tiny_graph.num_features,
+            hidden_features=8,
+            num_classes=tiny_graph.num_classes,
+            rng=0,
+        )
+        model.load_state_dict(plan_models["gcn"].state_dict())
+        model.eval()
+        session = GraphSession.from_graph(tiny_graph.copy())
+        engine = InferenceEngine(
+            model, session, ServeConfig(cache=False), plan_cache=PlanCache()
+        )
+        nodes = np.arange(15)
+        got = engine.predict_logits(nodes)
+        stats = engine.cache_stats
+        assert stats.plan_fallbacks == 1
+        assert stats.plans_recorded == 0 and stats.plan_replays == 0
+        reference = InferenceEngine(
+            plan_models["gcn"],
+            GraphSession.from_graph(tiny_graph.copy()),
+            ServeConfig(cache=False, plan=False),
+        ).predict_logits(nodes)
+        np.testing.assert_allclose(got, reference, rtol=0, atol=1e-8)
+        # The unsupported verdict is cached: no re-probe per batch.
+        engine.predict_logits(np.arange(15, 30))
+        assert engine.cache_stats.plan_fallbacks == 2
+
+    def test_registry_exposes_shared_cache(self):
+        assert ModelRegistry.plan_cache() is shared_plan_cache()
+
+
+# --------------------------------------------------------------------- #
+# Batcher coalescing
+# --------------------------------------------------------------------- #
+class TestBatcherCoalescing:
+    def test_megabatch_pop_and_stats(self, tiny_graph, plan_models):
+        model = plan_models["gcn"]
+        session = GraphSession.from_graph(tiny_graph.copy())
+        engine = InferenceEngine(
+            model, session, ServeConfig(cache=False), plan_cache=PlanCache()
+        )
+        batcher = RequestBatcher(engine, max_batch_size=8, coalesce_batches=4)
+        futures = [batcher.submit(node) for node in range(30)]
+        assert batcher.flush() == 30
+        stats = batcher.stats
+        # 30 requests, megabatch limit 32: one pop serves them all.
+        assert stats.batches == 1
+        assert stats.megabatches == 1
+        assert stats.largest_batch == 30
+        reference = engine.predict_proba(np.arange(30))
+        for future, row in zip(futures, reference):
+            np.testing.assert_allclose(future.result(), row, atol=0)
+
+    def test_coalesce_one_restores_micro_batches(self, tiny_graph, plan_models):
+        engine = InferenceEngine(
+            plan_models["gcn"],
+            GraphSession.from_graph(tiny_graph.copy()),
+            ServeConfig(cache=False),
+            plan_cache=PlanCache(),
+        )
+        batcher = RequestBatcher(engine, max_batch_size=8, coalesce_batches=1)
+        for node in range(30):
+            batcher.submit(node)
+        batcher.flush()
+        stats = batcher.stats
+        assert stats.batches == 4
+        assert stats.megabatches == 0
+        assert stats.largest_batch == 8
+
+    def test_coalesce_validation(self, tiny_graph, plan_models):
+        engine = InferenceEngine(
+            plan_models["gcn"],
+            GraphSession.from_graph(tiny_graph.copy()),
+            ServeConfig(cache=False),
+            plan_cache=PlanCache(),
+        )
+        with pytest.raises(ValueError, match="coalesce_batches"):
+            RequestBatcher(engine, coalesce_batches=0)

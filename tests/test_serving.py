@@ -557,3 +557,48 @@ class TestRegistryRetention:
         registry = self._fill(str(tmp_path), count=1)
         with pytest.raises(ValueError, match="keep_last"):
             registry.prune("m", keep_last=-1)
+
+
+# --------------------------------------------------------------------- #
+# Fused-plan serving counters and the GAT flush amortisation
+# --------------------------------------------------------------------- #
+class TestPlanServing:
+    def test_cache_stats_always_an_object(self, tiny_graph, trained_models):
+        """With caching disabled the stats still carry the plan counters."""
+        session = GraphSession.from_graph(_fresh_graph(tiny_graph))
+        engine = InferenceEngine(
+            trained_models["gcn"], session, ServeConfig(cache=False)
+        )
+        stats = engine.cache_stats
+        assert stats.hits == 0 and stats.misses == 0 and stats.size == 0
+        engine.predict_logits(np.arange(8))
+        stats = engine.cache_stats
+        assert stats.plans_recorded + stats.plan_replays == 1
+        assert stats.hits == 0 and stats.misses == 0
+
+    def test_gat_fallback_forward_once_per_flush(
+        self, tiny_graph, trained_models, monkeypatch
+    ):
+        """A flush split into several miss batches pays one full forward."""
+        model = trained_models["gat"]
+        session = GraphSession.from_graph(_fresh_graph(tiny_graph))
+        engine = InferenceEngine(model, session, ServeConfig(cache=False))
+        calls = {"n": 0}
+        original = type(model).predict_logits
+
+        def counting(self, features, adjacency):
+            calls["n"] += 1
+            return original(self, features, adjacency)
+
+        monkeypatch.setattr(type(model), "predict_logits", counting)
+        batcher = RequestBatcher(engine, max_batch_size=4, coalesce_batches=1)
+        for node in range(12):
+            batcher.submit(node)
+        assert batcher.flush() == 12
+        assert batcher.stats.batches == 3
+        assert calls["n"] == 1, "3 miss batches must share one forward"
+        # A mutation drops the memo: the next batch pays exactly one more.
+        session.add_edges(_absent_pairs(_fresh_graph(tiny_graph), 1, seed=9))
+        engine.predict_logits(np.arange(6))
+        engine.predict_logits(np.arange(6, 12))
+        assert calls["n"] == 2
