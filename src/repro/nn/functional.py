@@ -68,6 +68,24 @@ def dropout(
     return x * Tensor(mask)
 
 
+def gather_rows(x: Tensor, index: np.ndarray) -> Tensor:
+    """Select rows of ``x`` by integer ``index`` with a sparse adjoint.
+
+    Equivalent to ``x[index]`` but validates the index range first.  The
+    backward pass of the underlying ``take`` primitive is a lazy
+    ``(index, values)`` pair scattered into the upstream gradient in place,
+    so gathering ``k`` rows out of ``n`` costs O(k) gradient work — never a
+    dense zeros-of-``x`` buffer.  This is the op behind mini-batch seed-node
+    relabelling and per-row label gathers in the losses.
+    """
+    index = np.asarray(index, dtype=np.int64)
+    if index.size and (index.min() < -x.shape[0] or index.max() >= x.shape[0]):
+        raise IndexError(
+            f"gather_rows index out of range for axis of size {x.shape[0]}"
+        )
+    return x[index]
+
+
 def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
     """Return a dense one-hot encoding of integer ``labels``."""
     labels = np.asarray(labels, dtype=np.int64)

@@ -45,8 +45,10 @@ def cross_entropy(
     """
     targets = _prepare_targets(logits, targets)
     log_probs = logits.log_softmax(axis=1)
-    mask = Tensor(one_hot(targets, logits.shape[1]))
-    per_sample = -(log_probs * mask).sum(axis=1)
+    # Gather the target log-probability per row.  The fancy-index backward is
+    # a lazy sparse adjoint (one (index, values) pair), so no dense (N, C)
+    # one-hot mask or zeros-of-logits scatter buffer is ever allocated.
+    per_sample = -log_probs[np.arange(targets.shape[0]), targets]
     if reduction == "none":
         return per_sample
     if reduction == "sum":

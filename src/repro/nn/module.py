@@ -86,6 +86,18 @@ class Module:
         for param in self.parameters():
             param.grad = None
 
+    def requires_grad_(self, requires_grad: bool = True) -> "Module":
+        """Freeze (``False``) or unfreeze (``True``) every parameter.
+
+        A frozen parameter is a constant operand to the autodiff engine: ops
+        consuming it record no parent link for it and fire no VJP on its
+        behalf, so freezing genuinely removes its gradient work rather than
+        just discarding the result.
+        """
+        for param in self.parameters():
+            param.requires_grad = bool(requires_grad)
+        return self
+
     # ------------------------------------------------------------------ #
     # State dict
     # ------------------------------------------------------------------ #

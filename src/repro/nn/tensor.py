@@ -1,9 +1,14 @@
 """Reverse-mode automatic differentiation on dense NumPy arrays.
 
-The design follows the classic tape-based approach: every operation builds a
-node in a DAG that stores a closure computing the contribution of the output
-gradient to each input gradient.  Calling :meth:`Tensor.backward` on a scalar
-output performs a topological sort and accumulates gradients.
+Operations are *primitives* registered in the VJP table of
+:mod:`repro.nn.autodiff`: each op is a named wrapper around a raw ndarray
+function with per-argument vector-Jacobian products registered via
+``defvjp(op, argnum, vjp_fn)``.  Applying a primitive records a single graph
+node carrying ``(primitive, raw args, kwargs)`` and ``(argnum, parent)``
+links — only for operands that require gradients, so constants produce no
+nodes and no gradient work at all.  Gather primitives (``__getitem__``)
+return lazy :class:`~repro.nn.autodiff.SparseGrad` adjoints instead of dense
+zeros-of-the-input scatters.
 
 Only the operations needed by the GNN models and the influence-function
 machinery are implemented, but they are implemented with full broadcasting
@@ -12,74 +17,57 @@ support so layers can be written naturally.
 
 from __future__ import annotations
 
-import contextlib
-import contextvars
-from typing import Callable, Iterable, Optional, Sequence, Tuple, Union
+from typing import Iterable, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.nn import autodiff
+from repro.nn.autodiff import (
+    Node,
+    SparseGrad,
+    defvjp,
+    defvjp_argnum,
+    is_grad_enabled,
+    no_grad,
+    primitive,
+    unbroadcast,
+)
+
+__all__ = [
+    "Tensor",
+    "apply_primitive",
+    "concatenate",
+    "is_grad_enabled",
+    "no_grad",
+    "stack",
+]
+
 ArrayLike = Union[np.ndarray, float, int, "Tensor", Sequence]
 
-_GRAD_ENABLED: contextvars.ContextVar[bool] = contextvars.ContextVar(
-    "repro_grad_enabled", default=True
-)
-"""Dynamically scoped autodiff mode flag.
-
-A :class:`contextvars.ContextVar` rather than a module global so that
-``no_grad()`` in one thread / task of a parallel runner cannot disable graph
-recording in another.
-"""
-
-
-@contextlib.contextmanager
-def no_grad():
-    """Context manager disabling graph construction (inference mode)."""
-    token = _GRAD_ENABLED.set(False)
-    try:
-        yield
-    finally:
-        _GRAD_ENABLED.reset(token)
-
-
-def is_grad_enabled() -> bool:
-    """Return whether autodiff graph recording is currently enabled."""
-    return _GRAD_ENABLED.get()
-
-
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
-    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
-    if grad.shape == shape:
-        return grad
-    # Sum leading dimensions added by broadcasting.
-    while grad.ndim > len(shape):
-        grad = grad.sum(axis=0)
-    # Sum along axes that were of size 1 in the original shape.
-    for axis, size in enumerate(shape):
-        if size == 1 and grad.shape[axis] != 1:
-            grad = grad.sum(axis=axis, keepdims=True)
-    return grad.reshape(shape)
+# Backwards-compatible aliases for the helpers that moved into the engine.
+_unbroadcast = unbroadcast
 
 
 class Tensor:
     """A dense tensor participating in a reverse-mode autodiff graph."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_node", "name")
     __array_priority__ = 100  # ensure ndarray.__mul__(Tensor) defers to us
 
     def __init__(
         self,
         data: ArrayLike,
         requires_grad: bool = False,
-        _prev: Tuple["Tensor", ...] = (),
         name: str = "",
     ) -> None:
         if isinstance(data, Tensor):
             data = data.data
         self.data = np.asarray(data, dtype=np.float64)
-        self.requires_grad = bool(requires_grad) and _GRAD_ENABLED.get()
+        # ``no_grad()`` suppresses graph *recording* only; the flag survives
+        # so parameters built under inference mode stay trainable.
+        self.requires_grad = bool(requires_grad)
         self.grad: Optional[np.ndarray] = None
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
-        self._prev: Tuple[Tensor, ...] = _prev if self.requires_grad or _prev else ()
+        self._node: Optional[Node] = None
         self.name = name
 
     # ------------------------------------------------------------------ #
@@ -131,49 +119,16 @@ class Tensor:
     def _promote(value: ArrayLike) -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
-    def _make(
-        self,
-        data: np.ndarray,
-        parents: Tuple["Tensor", ...],
-        backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
-        requires = _GRAD_ENABLED.get() and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _prev=parents if requires else ())
-        if requires:
-            out._backward = backward
-        return out
-
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if not self.requires_grad:
-            return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad = self.grad + grad
-
     # ------------------------------------------------------------------ #
     # Arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other: ArrayLike) -> "Tensor":
-        other = self._promote(other)
-        data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad)
-            other._accumulate(grad)
-
-        return self._make(data, (self, other), backward)
+        return apply_primitive(_add, self, self._promote(other))
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        data = -self.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_neg, self)
 
     def __sub__(self, other: ArrayLike) -> "Tensor":
         return self + (-self._promote(other))
@@ -182,26 +137,12 @@ class Tensor:
         return self._promote(other) + (-self)
 
     def __mul__(self, other: ArrayLike) -> "Tensor":
-        other = self._promote(other)
-        data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
-
-        return self._make(data, (self, other), backward)
+        return apply_primitive(_mul, self, self._promote(other))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: ArrayLike) -> "Tensor":
-        other = self._promote(other)
-        data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data**2))
-
-        return self._make(data, (self, other), backward)
+        return apply_primitive(_div, self, self._promote(other))
 
     def __rtruediv__(self, other: ArrayLike) -> "Tensor":
         return self._promote(other) / self
@@ -209,180 +150,84 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        data = self.data**exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_pow, self, exponent=exponent)
 
     def __matmul__(self, other: ArrayLike) -> "Tensor":
         return self.matmul(other)
 
     def matmul(self, other: ArrayLike) -> "Tensor":
-        other = self._promote(other)
-        data = self.data @ other.data
-
-        def backward(grad: np.ndarray) -> None:
-            # Guard each operand: the product forming its gradient is O(n²)
-            # work and memory, wasted when that operand is a constant (e.g.
-            # every propagation matrix in the GNN layers).
-            if self.requires_grad:
-                self._accumulate(grad @ other.data.T)
-            if other.requires_grad:
-                other._accumulate(self.data.T @ grad)
-
-        return self._make(data, (self, other), backward)
+        return apply_primitive(_matmul, self, self._promote(other))
 
     # ------------------------------------------------------------------ #
     # Shape manipulation
     # ------------------------------------------------------------------ #
     def transpose(self) -> "Tensor":
-        data = self.data.T
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.T)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_transpose, self)
 
     def reshape(self, *shape: int) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.data.shape
-        data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(original))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_reshape, self, shape=shape)
 
     def __getitem__(self, index) -> "Tensor":
-        data = self.data[index]
-
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_take, self, index)
 
     # ------------------------------------------------------------------ #
     # Reductions
     # ------------------------------------------------------------------ #
-    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
+    def sum(
+        self,
+        axis: Optional[Union[int, Tuple[int, ...]]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
+        return apply_primitive(_sum, self, axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
-            if axis is None:
-                expanded = np.broadcast_to(grad, self.data.shape)
-            else:
-                if not keepdims:
-                    grad = np.expand_dims(grad, axis)
-                expanded = np.broadcast_to(grad, self.data.shape)
-            self._accumulate(expanded)
-
-        return self._make(data, (self,), backward)
-
-    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+    def mean(
+        self,
+        axis: Optional[Union[int, Tuple[int, ...]]] = None,
+        keepdims: bool = False,
+    ) -> "Tensor":
         if axis is None:
             count = self.data.size
         else:
-            count = self.data.shape[axis]
+            axes = axis if isinstance(axis, tuple) else (axis,)
+            count = 1
+            for one_axis in axes:
+                count *= self.data.shape[one_axis]
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            grad = np.asarray(grad, dtype=np.float64)
-            if axis is None:
-                mask = (self.data == self.data.max()).astype(np.float64)
-                mask /= mask.sum()
-                self._accumulate(mask * grad)
-            else:
-                expanded_max = self.data.max(axis=axis, keepdims=True)
-                mask = (self.data == expanded_max).astype(np.float64)
-                mask /= mask.sum(axis=axis, keepdims=True)
-                g = grad if keepdims else np.expand_dims(grad, axis)
-                self._accumulate(mask * g)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_max, self, axis=axis, keepdims=keepdims)
 
     # ------------------------------------------------------------------ #
     # Elementwise non-linearities
     # ------------------------------------------------------------------ #
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_exp, self)
 
     def log(self) -> "Tensor":
-        data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_log, self)
 
     def sqrt(self) -> "Tensor":
         return self**0.5
 
     def abs(self) -> "Tensor":
-        data = np.abs(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_abs, self)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(np.float64)
-        data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_relu, self)
 
     def leaky_relu(self, negative_slope: float = 0.2) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, negative_slope)
-        data = self.data * mask
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * mask)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_leaky_relu, self, negative_slope=negative_slope)
 
     def elu(self, alpha: float = 1.0) -> "Tensor":
-        positive = self.data > 0
-        exp_part = alpha * (np.exp(np.minimum(self.data, 0.0)) - 1.0)
-        data = np.where(positive, self.data, exp_part)
-
-        def backward(grad: np.ndarray) -> None:
-            local = np.where(positive, 1.0, exp_part + alpha)
-            self._accumulate(grad * local)
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_elu, self, alpha=alpha)
 
     def sigmoid(self) -> "Tensor":
-        data = 1.0 / (1.0 + np.exp(-self.data))
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * data * (1.0 - data))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_sigmoid, self)
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - data**2))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_tanh, self)
 
     # ------------------------------------------------------------------ #
     # Composite helpers used by the GNN layers
@@ -393,12 +238,7 @@ class Tensor:
         Gradients do not flow through the filled positions.
         """
         mask = np.asarray(mask, dtype=bool)
-        data = np.where(mask, value, self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(np.where(mask, 0.0, grad))
-
-        return self._make(data, (self,), backward)
+        return apply_primitive(_masked_fill, self, mask, value)
 
     def softmax(self, axis: int = -1) -> "Tensor":
         shifted = self - self.max(axis=axis, keepdims=True).detach()
@@ -424,57 +264,184 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
-
-        order: list[Tensor] = []
-        visited: set[int] = set()
-
-        def visit(node: "Tensor") -> None:
-            stack = [(node, iter(node._prev))]
-            visited.add(id(node))
-            while stack:
-                current, children = stack[-1]
-                advanced = False
-                for child in children:
-                    if id(child) not in visited:
-                        visited.add(id(child))
-                        stack.append((child, iter(child._prev)))
-                        advanced = True
-                        break
-                if not advanced:
-                    order.append(current)
-                    stack.pop()
-
-        visit(self)
-
-        self._accumulate(grad)
-        for node in reversed(order):
-            if node._backward is not None and node.grad is not None:
-                node._backward(node.grad)
+        autodiff.backward(self, grad)
 
 
-def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
-    """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = [Tensor._promote(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
+def apply_primitive(prim, *args, **kwargs) -> Tensor:
+    """Apply ``prim`` to (tensor or raw) ``args``, recording a node if needed.
 
-    def backward(grad: np.ndarray) -> None:
-        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            slicer = [slice(None)] * grad.ndim
-            slicer[axis] = slice(start, stop)
-            tensor._accumulate(grad[tuple(slicer)])
-
-    requires = _GRAD_ENABLED.get() and any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _prev=tuple(tensors) if requires else ())
-    if requires:
-        out._backward = backward
+    Non-:class:`Tensor` arguments pass through as-is (indices, masks, CSR
+    operators, scalars).  A node is recorded only when recording is enabled
+    and at least one operand both requires a gradient and has a VJP
+    registered — so constant-only applications return a plain tensor with no
+    graph presence whatsoever.
+    """
+    raw = tuple(a.data if isinstance(a, Tensor) else a for a in args)
+    out = Tensor(prim.fn(*raw, **kwargs))
+    if is_grad_enabled():
+        parents = tuple(
+            (argnum, arg)
+            for argnum, arg in enumerate(args)
+            if isinstance(arg, Tensor) and arg.requires_grad and prim.has_vjp(argnum)
+        )
+        if parents:
+            out.requires_grad = True
+            out._node = Node(prim, raw, kwargs, parents)
     return out
 
 
-def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
-    """Stack tensors along a new axis with gradient support."""
+# ---------------------------------------------------------------------- #
+# Primitive definitions and their VJP registrations
+# ---------------------------------------------------------------------- #
+_add = primitive("add", np.add)
+defvjp(_add, 0, lambda g, ans, a, b: g)
+defvjp(_add, 1, lambda g, ans, a, b: g)
+
+_neg = primitive("neg", np.negative)
+defvjp(_neg, 0, lambda g, ans, x: -g)
+
+_mul = primitive("mul", np.multiply)
+defvjp(_mul, 0, lambda g, ans, a, b: g * b)
+defvjp(_mul, 1, lambda g, ans, a, b: g * a)
+
+_div = primitive("div", np.divide)
+defvjp(_div, 0, lambda g, ans, a, b: g / b)
+defvjp(_div, 1, lambda g, ans, a, b: -g * a / (b**2))
+
+
+def _pow_vjp(g, ans, x, exponent):
+    if exponent == 0:
+        # d(x^0)/dx ≡ 0 everywhere; the naive formula evaluates 0 * x**-1,
+        # which is NaN at x = 0.
+        return np.zeros_like(g)
+    return g * exponent * x ** (exponent - 1)
+
+
+_pow = primitive("pow", lambda x, exponent: x**exponent)
+defvjp(_pow, 0, _pow_vjp)
+
+_matmul = primitive("matmul", lambda a, b: a @ b)
+defvjp(_matmul, 0, lambda g, ans, a, b: g @ b.T)
+defvjp(_matmul, 1, lambda g, ans, a, b: a.T @ g)
+
+_transpose = primitive("transpose", lambda x: x.T)
+defvjp(_transpose, 0, lambda g, ans, x: g.T)
+
+_reshape = primitive("reshape", lambda x, shape: x.reshape(shape))
+defvjp(_reshape, 0, lambda g, ans, x, shape: g.reshape(x.shape))
+
+_take = primitive("take", lambda x, index: x[index])
+defvjp(_take, 0, lambda g, ans, x, index: SparseGrad(x.shape, index, g))
+
+
+def _sum_vjp(g, ans, x, axis=None, keepdims=False):
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis)
+    return np.broadcast_to(g, x.shape)
+
+
+_sum = primitive("sum", lambda x, axis=None, keepdims=False: x.sum(axis=axis, keepdims=keepdims))
+defvjp(_sum, 0, _sum_vjp)
+
+
+def _max_vjp(g, ans, x, axis=None, keepdims=False):
+    if axis is None:
+        mask = (x == x.max()).astype(np.float64)
+        mask /= mask.sum()
+        return mask * g
+    expanded_max = x.max(axis=axis, keepdims=True)
+    mask = (x == expanded_max).astype(np.float64)
+    mask /= mask.sum(axis=axis, keepdims=True)
+    if not keepdims:
+        g = np.expand_dims(g, axis)
+    return mask * g
+
+
+_max = primitive("max", lambda x, axis=None, keepdims=False: x.max(axis=axis, keepdims=keepdims))
+defvjp(_max, 0, _max_vjp)
+
+_exp = primitive("exp", np.exp)
+defvjp(_exp, 0, lambda g, ans, x: g * ans)
+
+_log = primitive("log", np.log)
+defvjp(_log, 0, lambda g, ans, x: g / x)
+
+_abs = primitive("abs", np.abs)
+defvjp(_abs, 0, lambda g, ans, x: g * np.sign(x))
+
+_relu = primitive("relu", lambda x: x * (x > 0).astype(np.float64))
+defvjp(_relu, 0, lambda g, ans, x: g * (x > 0).astype(np.float64))
+
+
+def _leaky_relu_fn(x, negative_slope=0.2):
+    return x * np.where(x > 0, 1.0, negative_slope)
+
+
+_leaky_relu = primitive("leaky_relu", _leaky_relu_fn)
+defvjp(
+    _leaky_relu,
+    0,
+    lambda g, ans, x, negative_slope=0.2: g * np.where(x > 0, 1.0, negative_slope),
+)
+
+
+def _elu_fn(x, alpha=1.0):
+    exp_part = alpha * (np.exp(np.minimum(x, 0.0)) - 1.0)
+    return np.where(x > 0, x, exp_part)
+
+
+def _elu_vjp(g, ans, x, alpha=1.0):
+    exp_part = alpha * (np.exp(np.minimum(x, 0.0)) - 1.0)
+    return g * np.where(x > 0, 1.0, exp_part + alpha)
+
+
+_elu = primitive("elu", _elu_fn)
+defvjp(_elu, 0, _elu_vjp)
+
+_sigmoid = primitive("sigmoid", lambda x: 1.0 / (1.0 + np.exp(-x)))
+defvjp(_sigmoid, 0, lambda g, ans, x: g * ans * (1.0 - ans))
+
+_tanh = primitive("tanh", np.tanh)
+defvjp(_tanh, 0, lambda g, ans, x: g * (1.0 - ans**2))
+
+_masked_fill = primitive("masked_fill", lambda x, mask, value: np.where(mask, value, x))
+defvjp(_masked_fill, 0, lambda g, ans, x, mask, value: np.where(mask, 0.0, g))
+
+
+def _concatenate_vjp(argnum, g, ans, *arrays, axis=0):
+    start = sum(a.shape[axis] for a in arrays[:argnum])
+    stop = start + arrays[argnum].shape[axis]
+    slicer = [slice(None)] * g.ndim
+    slicer[axis] = slice(start, stop)
+    return g[tuple(slicer)]
+
+
+_concatenate = primitive(
+    "concatenate", lambda *arrays, axis=0: np.concatenate(arrays, axis=axis)
+)
+defvjp_argnum(_concatenate, _concatenate_vjp)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` (negative axes allowed)."""
     tensors = [Tensor._promote(t) for t in tensors]
+    if not tensors:
+        raise ValueError("concatenate requires at least one tensor")
+    return apply_primitive(_concatenate, *tensors, axis=axis)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (negative axes allowed)."""
+    tensors = [Tensor._promote(t) for t in tensors]
+    if not tensors:
+        raise ValueError("stack requires at least one tensor")
+    ndim = tensors[0].ndim
+    if not -(ndim + 1) <= axis <= ndim:
+        raise np.exceptions.AxisError(axis, ndim + 1)
+    if axis < 0:
+        # Normalising here is what places the new axis correctly: slicing
+        # ``shape[:axis]`` with a negative axis would insert the 1 one
+        # position too early (e.g. axis=-1 appended before the last dim).
+        axis += ndim + 1
     expanded = [t.reshape(*t.shape[:axis], 1, *t.shape[axis:]) for t in tensors]
     return concatenate(expanded, axis=axis)

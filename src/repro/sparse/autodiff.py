@@ -1,10 +1,12 @@
-"""Sparse matrix products registered on the reverse-mode autodiff tape.
+"""Sparse matrix products registered as autodiff primitives.
 
 ``spmm(P, X)`` computes ``P @ X`` for a constant CSR operator ``P`` and a
-:class:`repro.nn.Tensor` ``X``.  The backward rule is ``∂L/∂X = Pᵀ @ g`` —
-both passes stay sparse; the dense ``(N, N)`` operator is never
-materialised.  Gradients never flow into the graph structure, matching the
-dense pipelines where propagation matrices are plain constants.
+:class:`repro.nn.Tensor` ``X``.  Both ops are registered in the VJP
+primitive table of :mod:`repro.nn.autodiff` exactly like the dense ops: the
+CSR operator is a non-differentiable argument (argnum 0, no VJP — gradients
+never flow into the graph structure) and the backward rule for the dense
+operand is ``∂L/∂X = Pᵀ @ g`` using the cached CSR transpose, so neither
+pass densifies the ``(N, N)`` operator.
 """
 
 from __future__ import annotations
@@ -13,10 +15,17 @@ from typing import Union
 
 import numpy as np
 
-from repro.nn.tensor import Tensor
+from repro.nn.autodiff import defvjp, primitive
+from repro.nn.tensor import Tensor, apply_primitive
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["spmm", "spmv"]
+
+_spmm = primitive("spmm", lambda matrix, x: matrix.matmul_dense(x))
+defvjp(_spmm, 1, lambda g, ans, matrix, x: matrix.T.matmul_dense(g))
+
+_spmv = primitive("spmv", lambda matrix, x: matrix.matmul_dense(x))
+defvjp(_spmv, 1, lambda g, ans, matrix, x: matrix.T.matmul_dense(g))
 
 
 def spmm(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
@@ -39,12 +48,7 @@ def spmm(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
     x = Tensor._promote(x)
     if x.data.ndim != 2:
         raise ValueError("spmm expects a 2-D right operand")
-    data = matrix.matmul_dense(x.data)
-
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(matrix.T.matmul_dense(grad))
-
-    return x._make(data, (x,), backward)
+    return apply_primitive(_spmm, matrix, x)
 
 
 def spmv(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
@@ -54,9 +58,4 @@ def spmv(matrix: CSRMatrix, x: Union[Tensor, np.ndarray]) -> Tensor:
     x = Tensor._promote(x)
     if x.data.ndim != 1:
         raise ValueError("spmv expects a 1-D right operand")
-    data = matrix.matmul_dense(x.data)
-
-    def backward(grad: np.ndarray) -> None:
-        x._accumulate(matrix.T.matmul_dense(grad))
-
-    return x._make(data, (x,), backward)
+    return apply_primitive(_spmv, matrix, x)

@@ -279,3 +279,44 @@ class TestFunctional:
     def test_dropout_invalid_p(self):
         with pytest.raises(ValueError):
             F.dropout(Tensor(np.ones(3)), p=1.5)
+
+
+class TestRequiresGradToggle:
+    def test_frozen_parameters_are_constants_to_the_tape(self):
+        from repro.nn.autodiff import STATS
+
+        layer = Linear(3, 2, rng=0)
+        layer.requires_grad_(False)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        STATS.reset()
+        out = layer(x)
+        assert STATS.nodes == 0
+        assert not out.requires_grad
+        assert layer.weight._node is None
+
+    def test_unfreeze_restores_gradient_flow(self):
+        layer = Linear(3, 2, rng=0)
+        layer.requires_grad_(False).requires_grad_(True)
+        x = Tensor(np.random.default_rng(0).normal(size=(4, 3)))
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+
+
+class TestGatherRows:
+    def test_matches_fancy_indexing(self):
+        x = Tensor(np.random.default_rng(0).normal(size=(5, 3)), requires_grad=True)
+        index = np.array([4, 0, 0])
+        out = F.gather_rows(x, index)
+        np.testing.assert_array_equal(out.data, x.data[index])
+        out.sum().backward()
+        expected = np.zeros((5, 3))
+        np.add.at(expected, index, 1.0)
+        np.testing.assert_allclose(x.grad, expected)
+
+    def test_out_of_range_raises(self):
+        x = Tensor(np.ones((5, 3)))
+        with pytest.raises(IndexError):
+            F.gather_rows(x, np.array([5]))
+        with pytest.raises(IndexError):
+            F.gather_rows(x, np.array([-6]))

@@ -214,3 +214,168 @@ class TestGraphMechanics:
         assert x.shape == (1, 1)
         assert x.ndim == 2
         assert x.size == 1
+
+
+class TestNoGradKeepsRequiresGrad:
+    """Regression: ``no_grad()`` must suppress recording, not the flag.
+
+    The old tape cleared ``requires_grad`` at construction time inside a
+    ``no_grad()`` scope, so parameters built under inference mode became
+    silently untrainable.
+    """
+
+    def test_tensor_built_under_no_grad_keeps_flag(self):
+        with no_grad():
+            x = Tensor(np.ones(3), requires_grad=True)
+        assert x.requires_grad
+
+    def test_model_built_under_no_grad_trains(self):
+        from repro.nn.losses import cross_entropy
+        from repro.nn.module import Linear
+        from repro.nn.optim import SGD
+
+        with no_grad():
+            model = Linear(4, 3, rng=0)
+        assert model.weight.requires_grad and model.bias.requires_grad
+
+        optimizer = SGD(model.parameters(), lr=0.1)
+        before = model.weight.data.copy()
+        rng = np.random.default_rng(0)
+        logits = model(Tensor(rng.normal(size=(8, 4))))
+        loss = cross_entropy(logits, rng.integers(0, 3, size=8))
+        loss.backward()
+        assert model.weight.grad is not None and np.any(model.weight.grad != 0)
+        assert model.bias.grad is not None
+        optimizer.step()
+        assert np.any(model.weight.data != before)
+
+    def test_ops_inside_no_grad_still_record_nothing(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with no_grad():
+            y = x * 2.0 + 1.0
+        assert not y.requires_grad
+        assert y._node is None
+
+
+class TestStackConcatenateAxes:
+    """Regression: ``stack(axis=-1)`` placed the new axis one position early."""
+
+    @pytest.mark.parametrize("axis", [-1, -2, 0, 1, 2])
+    def test_stack_matches_numpy(self, axis):
+        rng = np.random.default_rng(0)
+        arrays = [rng.normal(size=(2, 3)) for _ in range(4)]
+        stacked = stack([Tensor(a) for a in arrays], axis=axis)
+        np.testing.assert_array_equal(stacked.data, np.stack(arrays, axis=axis))
+
+    @pytest.mark.parametrize("axis", [-1, -2])
+    def test_stack_negative_axis_backward(self, axis):
+        rng = np.random.default_rng(1)
+        other = rng.normal(size=(2, 3))
+        check_gradient(lambda x: stack([x, Tensor(other)], axis=axis), (2, 3))
+
+    @pytest.mark.parametrize("axis", [-1, -2])
+    def test_concatenate_negative_axis(self, axis):
+        rng = np.random.default_rng(2)
+        arrays = [rng.normal(size=(2, 3)) for _ in range(2)]
+        out = concatenate([Tensor(a) for a in arrays], axis=axis)
+        np.testing.assert_array_equal(out.data, np.concatenate(arrays, axis=axis))
+        check_gradient(lambda x: concatenate([x, Tensor(arrays[1])], axis=axis), (2, 3))
+
+    def test_stack_axis_out_of_range(self):
+        with pytest.raises(np.exceptions.AxisError):
+            stack([Tensor(np.ones((2, 3)))], axis=3)
+
+
+class TestTupleAxisReductions:
+    """Regression: ``mean(axis=(..))`` crashed indexing shape with a tuple."""
+
+    def test_mean_tuple_axis_forward(self):
+        rng = np.random.default_rng(0)
+        value = rng.normal(size=(2, 3, 4))
+        out = Tensor(value).mean(axis=(0, 2))
+        np.testing.assert_allclose(out.data, value.mean(axis=(0, 2)))
+
+    def test_mean_tuple_axis_backward(self):
+        check_gradient(lambda x: x.mean(axis=(0, 2)), (2, 3, 4))
+
+    def test_mean_negative_axis(self):
+        check_gradient(lambda x: x.mean(axis=-1), (3, 4))
+
+    def test_sum_tuple_axis(self):
+        rng = np.random.default_rng(1)
+        value = rng.normal(size=(2, 3, 4))
+        out = Tensor(value).sum(axis=(1, 2))
+        np.testing.assert_allclose(out.data, value.sum(axis=(1, 2)))
+        check_gradient(lambda x: x.sum(axis=(1, 2)), (2, 3, 4))
+
+    def test_mean_tuple_axis_keepdims(self):
+        check_gradient(lambda x: x.mean(axis=(0, 1), keepdims=True), (2, 3))
+
+
+class TestPowEdgeCases:
+    """Regression: ``x ** 0`` backward emitted NaN at x = 0 (0 * x**-1)."""
+
+    def test_pow_zero_exponent_at_zero_is_nan_free(self):
+        x = Tensor(np.array([0.0, 1.0, -2.0]), requires_grad=True)
+        y = x**0
+        np.testing.assert_array_equal(y.data, np.ones(3))
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.zeros(3))
+
+    def test_pow_integer_exponent_at_zero(self):
+        x = Tensor(np.array([0.0, 2.0]), requires_grad=True)
+        (x**2).sum().backward()
+        np.testing.assert_allclose(x.grad, np.array([0.0, 4.0]))
+
+    def test_pow_one_exponent(self):
+        x = Tensor(np.array([-1.0, 0.0, 3.0]), requires_grad=True)
+        (x**1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.ones(3))
+
+
+class TestSparseAdjoints:
+    """Gather gradients accumulate as lazy (index, values) sparse adjoints."""
+
+    def test_duplicate_indices_accumulate(self):
+        x = Tensor(np.zeros((4, 2)), requires_grad=True)
+        index = np.array([1, 1, 3])
+        x[index].sum().backward()
+        expected = np.zeros((4, 2))
+        np.add.at(expected, index, 1.0)
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_slice_merges_into_dense_gradient_in_place(self):
+        from repro.nn.autodiff import STATS
+
+        x = Tensor(np.ones((6, 3)), requires_grad=True)
+        hidden = x * 2.0
+        loss = hidden.sum() + (hidden[:2] * 3.0).sum()
+        STATS.reset()
+        loss.backward()
+        # The slice contribution scatters into the dense gradient that the
+        # other branch already produced: no zeros-of-hidden densification.
+        assert STATS.scatter_merges >= 1
+        assert STATS.densifications == 0
+        expected = np.full((6, 3), 2.0)
+        expected[:2] += 6.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_pure_sparse_leaf_densifies_once(self):
+        from repro.nn.autodiff import STATS
+
+        x = Tensor(np.ones((5, 2)), requires_grad=True)
+        picked = x[np.array([0, 2])].sum() + x[np.array([1, 2])].sum()
+        STATS.reset()
+        picked.backward()
+        # Two indexing ops, one zeros allocation (at .grad materialisation).
+        assert STATS.densifications == 1
+        expected = np.zeros((5, 2))
+        expected[[0, 1]] = 1.0
+        expected[2] = 2.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_constant_gather_records_no_node(self):
+        constant = Tensor(np.arange(12.0).reshape(4, 3))
+        out = constant[np.array([0, 2])]
+        assert not out.requires_grad
+        assert out._node is None
