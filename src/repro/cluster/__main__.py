@@ -24,6 +24,10 @@ import numpy as np
 from repro.cluster.partition import PARTITION_STRATEGIES, partition_graph
 from repro.cluster.router import ShardRouter
 from repro.datasets import load_dataset
+from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.slo import check_slo, format_slo
+from repro.obs.snapshot import SnapshotEmitter
+from repro.obs.trace import set_tracing
 from repro.serve.batching import RequestBatcher
 from repro.serve.engine import InferenceEngine, ServeConfig
 from repro.serve.registry import DEFAULT_REGISTRY_ROOT, ModelRegistry
@@ -76,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="compare final answers against a fresh single-process engine",
     )
+    from repro.serve.__main__ import add_telemetry_arguments
+
+    add_telemetry_arguments(serve)
 
     part = commands.add_parser(
         "partition", help="report partition quality for a dataset surrogate"
@@ -110,6 +117,10 @@ def cmd_serve(args) -> int:
     graph = _rebuild_graph(meta)
     model, meta = registry.load(args.name, version=args.version, expect_graph=graph)
     session = GraphSession(graph.csr(), graph.features)
+    if args.telemetry:
+        # Before router construction: worker processes inherit the flag
+        # through WorkerInit.telemetry.
+        set_tracing(True)
     router = ShardRouter(
         model,
         session,
@@ -129,14 +140,32 @@ def cmd_serve(args) -> int:
     rng = np.random.default_rng(args.seed)
     nodes = rng.integers(0, session.num_nodes, size=args.requests)
     half = args.requests // 2
+    # Streaming latency percentiles over registry histogram buckets, not a
+    # per-request perf_counter list.
+    latency = active_metrics().histogram(
+        "cluster.cli.latency",
+        component="cluster_cli",
+        instance=next_instance(),
+    )
+    emitter = (
+        SnapshotEmitter(args.obs_path, interval=args.obs_interval)
+        if args.telemetry
+        else None
+    )
+    if emitter is not None and args.obs_interval > 0:
+        emitter.start()
     started = time.perf_counter()
     with router:
         batcher = RequestBatcher(router, max_batch_size=args.batch_size).start()
 
         def fire(batch_nodes) -> None:
-            futures = [batcher.submit(int(node)) for node in batch_nodes]
-            for future in futures:
+            pending = [
+                (time.perf_counter(), batcher.submit(int(node)))
+                for node in batch_nodes
+            ]
+            for submitted, future in pending:
                 future.result()
+                latency.observe(time.perf_counter() - submitted)
 
         fire(nodes[:half])
         if args.mutate > 0:
@@ -163,11 +192,19 @@ def cmd_serve(args) -> int:
         batcher.stop()
         elapsed = time.perf_counter() - started
         stats = router.stats()
+        if emitter is not None:
+            emitter.stop() if args.obs_interval > 0 else emitter.emit()
+            print(f"telemetry: snapshots at {args.obs_path}")
         print(
             f"served {args.requests} requests in {elapsed:.3f}s "
             f"({args.requests / elapsed:.0f} req/s, "
             f"mean batch {batcher.stats.mean_batch_size:.1f})"
         )
+        if latency.count:
+            print(
+                f"latency p50 {latency.quantile(0.50) * 1e3:.2f}ms  "
+                f"p99 {latency.quantile(0.99) * 1e3:.2f}ms"
+            )
         for shard in stats.shards:
             print(
                 f"  shard {shard['shard_id']}: owned {shard['owned']} "
@@ -204,6 +241,13 @@ def cmd_serve(args) -> int:
                 )
                 if not ok:
                     return 1
+    if args.slo is not None:
+        violations = check_slo(latency, args.slo)
+        if violations:
+            for violation in violations:
+                print(f"SLO FAIL: {violation}")
+            return 1
+        print(f"SLO OK: {format_slo(args.slo)}")
     return 0
 
 

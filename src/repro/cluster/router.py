@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -46,9 +46,13 @@ from repro.cluster.partition import GraphPartition, partition_graph
 from repro.cluster.worker import (
     InProcessWorker,
     ProcessWorker,
+    ShardStatsSnapshot,
     ShardUpdate,
     WorkerInit,
 )
+from repro.obs.trace import NULL_SPAN
+from repro.obs.trace import span as obs_span
+from repro.obs.trace import tracing_enabled
 from repro.graphs.khop import khop_frontier
 from repro.serve.engine import DEFAULT_FALLBACK_HOPS, ServeConfig, softmax_rows
 from repro.serve.session import GraphSession, MutationEvent
@@ -62,9 +66,14 @@ WORKER_MODES = ("process", "inproc")
 
 @dataclass(frozen=True)
 class ClusterStats:
-    """Aggregated per-shard counters (one dict per shard, plus totals)."""
+    """Aggregated per-shard counters (one typed snapshot per shard).
 
-    shards: Tuple[Dict, ...]
+    Every total indexes :class:`ShardStatsSnapshot` fields *loudly* — a
+    renamed or missing counter raises ``KeyError`` here instead of the old
+    ``.get(key, 0)`` silently summing zeros across the cluster.
+    """
+
+    shards: Tuple[ShardStatsSnapshot, ...]
 
     @property
     def requests(self) -> int:
@@ -89,23 +98,23 @@ class ClusterStats:
 
     @property
     def plans_recorded(self) -> int:
-        return sum(shard.get("plans_recorded", 0) for shard in self.shards)
+        return sum(shard["plans_recorded"] for shard in self.shards)
 
     @property
     def plan_replays(self) -> int:
-        return sum(shard.get("plan_replays", 0) for shard in self.shards)
+        return sum(shard["plan_replays"] for shard in self.shards)
 
     @property
     def plan_fallbacks(self) -> int:
-        return sum(shard.get("plan_fallbacks", 0) for shard in self.shards)
+        return sum(shard["plan_fallbacks"] for shard in self.shards)
 
     @property
     def megabatches(self) -> int:
-        return sum(shard.get("megabatches", 0) for shard in self.shards)
+        return sum(shard["megabatches"] for shard in self.shards)
 
     @property
     def megabatch_nodes(self) -> int:
-        return sum(shard.get("megabatch_nodes", 0) for shard in self.shards)
+        return sum(shard["megabatch_nodes"] for shard in self.shards)
 
 
 def _rows_update(
@@ -188,6 +197,7 @@ class ShardRouter:
                 config=self.config,
                 backend=backend,
                 base_version=session.version,
+                telemetry=tracing_enabled(),
             )
             if model_ref is not None:
                 init.registry_root, init.model_name, init.model_version = model_ref
@@ -247,9 +257,20 @@ class ShardRouter:
             ]
             # One concurrent round trip: send every shard its slice, then
             # collect — wall-clock is the slowest shard, not the sum.
-            for shard, positions in involved:
-                self.workers[shard].send("predict", nodes[positions])
-            replies = self._collect(shard for shard, _ in involved)
+            with obs_span("router.fanout") as fanout_span:
+                fanout_span.set(shards=len(involved), nodes=int(nodes.size))
+                rpc_spans = []
+                for shard, positions in involved:
+                    rpc = obs_span("shard.rpc")
+                    rpc.set(shard=int(shard), nodes=int(positions.size))
+                    ctx = None if rpc is NULL_SPAN else rpc.context()
+                    self.workers[shard].send(
+                        "predict", nodes[positions], ctx=ctx
+                    )
+                    rpc_spans.append(rpc)
+                replies = self._collect(
+                    [shard for shard, _ in involved], rpc_spans
+                )
             out: Optional[np.ndarray] = None
             for (shard, positions), rows in zip(involved, replies):
                 if out is None:
@@ -257,17 +278,24 @@ class ShardRouter:
                 out[positions] = rows
         return out
 
-    def _collect(self, shards) -> List:
+    def _collect(self, shards, rpc_spans=None) -> List:
         """Receive one reply per listed shard, draining every pipe even when
         a shard errors — a partial drain would leave stale replies queued and
-        desynchronise the command protocol for all later rounds."""
+        desynchronise the command protocol for all later rounds.
+
+        ``rpc_spans`` (optional, parallel to ``shards``) are finished as each
+        reply lands; replies are received in listed order, so a span's
+        duration can include head-of-line wait behind earlier shards."""
         replies, failure = [], None
-        for shard in shards:
+        for index, shard in enumerate(shards):
             try:
                 replies.append(self.workers[shard].recv())
             except Exception as error:  # noqa: BLE001 - re-raised after drain
                 if failure is None:
                     failure = error
+            finally:
+                if rpc_spans is not None:
+                    rpc_spans[index].finish()
         if failure is not None:
             raise failure
         return replies
@@ -300,7 +328,12 @@ class ShardRouter:
             self._check_open()
             for worker in self.workers:
                 worker.send("stats")
-            return ClusterStats(shards=tuple(self._collect(range(self.num_shards))))
+            snapshots = self._collect(range(self.num_shards))
+            # Pickle bypasses __post_init__: the schema check happens here,
+            # once per aggregation, on the router side of the pipe.
+            return ClusterStats(
+                shards=tuple(snap.validate() for snap in snapshots)
+            )
 
     def close(self) -> None:
         with self._lock:
@@ -327,40 +360,49 @@ class ShardRouter:
         with self._lock:
             if self._closed:
                 return
-            old_csr, new_csr = event.old_csr, event.new_csr
-            endpoints = np.asarray(event.endpoints, dtype=np.int64)
-            grown = new_csr.shape[0] - old_csr.shape[0]
-            new_owner = -1
-            if grown:
-                # add_node appends exactly one node: give it to the
-                # least-loaded shard (deterministic tie-break: lowest id).
-                sizes = np.asarray([owned.size for owned in self._owned])
-                new_owner = int(np.argmin(sizes))
-                node = new_csr.shape[0] - 1
-                self._owners = np.concatenate(
-                    [self._owners, np.asarray([new_owner], dtype=np.int64)]
+            with obs_span("router.mutation_fanout") as mutation_span:
+                mutation_span.set(
+                    version=event.version, shards=self.num_shards
                 )
-                self._owned[new_owner] = np.concatenate(
-                    [self._owned[new_owner], np.asarray([node], dtype=np.int64)]
-                )
-                # Keep the public partition's ownership view in step (its
-                # per-shard payloads remain construction-time snapshots).
-                self.partition.owners = self._owners
-                self.partition.shards[new_owner].owned = self._owned[new_owner]
-            # The k-hop dirty region over old AND new structure — any shard
-            # whose owned set it misses has no dirty prediction, no changed
-            # local row and no halo change (see the consistency tests).
-            old_eps = endpoints[endpoints < old_csr.shape[0]]
-            region = np.union1d(
-                khop_frontier(old_csr, old_eps, self.halo_hops),
-                khop_frontier(new_csr, endpoints, self.halo_hops),
+                self._fan_out_mutation(event, mutation_span)
+
+    def _fan_out_mutation(self, event: MutationEvent, mutation_span) -> None:
+        old_csr, new_csr = event.old_csr, event.new_csr
+        endpoints = np.asarray(event.endpoints, dtype=np.int64)
+        grown = new_csr.shape[0] - old_csr.shape[0]
+        new_owner = -1
+        if grown:
+            # add_node appends exactly one node: give it to the
+            # least-loaded shard (deterministic tie-break: lowest id).
+            sizes = np.asarray([owned.size for owned in self._owned])
+            new_owner = int(np.argmin(sizes))
+            node = new_csr.shape[0] - 1
+            self._owners = np.concatenate(
+                [self._owners, np.asarray([new_owner], dtype=np.int64)]
             )
-            features = self.session.features
-            empty = np.empty(0, dtype=np.int64)
-            empty_rows = CSRMatrix(
-                np.zeros(1, dtype=np.int64), empty, np.empty(0), (0, new_csr.shape[0])
+            self._owned[new_owner] = np.concatenate(
+                [self._owned[new_owner], np.asarray([node], dtype=np.int64)]
             )
-            updates: List[ShardUpdate] = []
+            # Keep the public partition's ownership view in step (its
+            # per-shard payloads remain construction-time snapshots).
+            self.partition.owners = self._owners
+            self.partition.shards[new_owner].owned = self._owned[new_owner]
+        # The k-hop dirty region over old AND new structure — any shard
+        # whose owned set it misses has no dirty prediction, no changed
+        # local row and no halo change (see the consistency tests).
+        old_eps = endpoints[endpoints < old_csr.shape[0]]
+        region = np.union1d(
+            khop_frontier(old_csr, old_eps, self.halo_hops),
+            khop_frontier(new_csr, endpoints, self.halo_hops),
+        )
+        features = self.session.features
+        empty = np.empty(0, dtype=np.int64)
+        empty_rows = CSRMatrix(
+            np.zeros(1, dtype=np.int64), empty, np.empty(0), (0, new_csr.shape[0])
+        )
+        updates: List[ShardUpdate] = []
+        with obs_span("router.halo_rebuild") as halo_span:
+            touched_shards = 0
             for shard in range(self.num_shards):
                 touched = bool(
                     np.intersect1d(self._owned[shard], region, assume_unique=False).size
@@ -380,6 +422,7 @@ class ShardRouter:
                         )
                     )
                     continue
+                touched_shards += 1
                 new_local = khop_frontier(new_csr, self._owned[shard], self.halo_hops)
                 entering = np.setdiff1d(new_local, self._locals[shard], assume_unique=True)
                 leaving = np.setdiff1d(self._locals[shard], new_local, assume_unique=True)
@@ -403,6 +446,10 @@ class ShardRouter:
                         ),
                     )
                 )
-            for worker, update in zip(self.workers, updates):
-                worker.send("mutate", update)
-            self._collect(range(self.num_shards))
+            halo_span.set(touched=touched_shards, region=int(region.size))
+        ctx = (
+            None if mutation_span is NULL_SPAN else mutation_span.context()
+        )
+        for worker, update in zip(self.workers, updates):
+            worker.send("mutate", update, ctx=ctx)
+        self._collect(range(self.num_shards))

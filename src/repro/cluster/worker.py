@@ -30,13 +30,17 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
+import time
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.cluster.partition import ShardPartition
+from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.trace import adopt, get_tracer, set_tracing
+from repro.obs.trace import span as obs_span
 from repro.serve.engine import InferenceEngine, ServeConfig
 from repro.serve.session import GraphSession
 from repro.sparse.csr import CSRMatrix
@@ -44,6 +48,8 @@ from repro.sparse.ops import append_empty_node_csr, splice_rows_csr
 
 __all__ = [
     "ClusterWorkerError",
+    "SHARD_STATS_SCHEMA_VERSION",
+    "ShardStatsSnapshot",
     "ShardUpdate",
     "WorkerInit",
     "ShardWorker",
@@ -54,6 +60,72 @@ __all__ = [
 
 class ClusterWorkerError(RuntimeError):
     """A shard worker rejected a command (re-raised router-side)."""
+
+
+SHARD_STATS_SCHEMA_VERSION = 1
+"""Bump on every field change of :class:`ShardStatsSnapshot`.  The router
+validates the version of every snapshot it aggregates, so a worker running
+an older schema (stale child re-used across a deploy, renamed counter) fails
+loudly instead of silently contributing zeros to cluster totals."""
+
+
+@dataclass(frozen=True)
+class ShardStatsSnapshot:
+    """Typed wire-format of one shard's counters.
+
+    Replaces the former untyped dict: a missing or renamed counter now
+    raises (``__getitem__``/attribute access) rather than vanishing into a
+    ``.get(key, 0)`` sum.  Dict-style access is kept because callers (CLI,
+    tests) index snapshots by key.  Pickle bypasses ``__post_init__``, so
+    the schema check lives in :meth:`validate`, called router-side.
+    """
+
+    schema: int
+    shard_id: int
+    owned: int
+    halo: int
+    requests: int
+    version: int
+    hits: int
+    misses: int
+    invalidated: int
+    cache_size: int
+    plans_recorded: int
+    plan_replays: int
+    plan_fallbacks: int
+    megabatches: int
+    megabatch_nodes: int
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(
+                f"unknown shard stats field {key!r} "
+                f"(schema v{self.schema}; known: "
+                f"{', '.join(f.name for f in fields(self))})"
+            ) from None
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and any(
+            f.name == key for f in fields(self)
+        )
+
+    def validate(self) -> "ShardStatsSnapshot":
+        """Schema/type check (router-side, after the pipe round trip)."""
+        if self.schema != SHARD_STATS_SCHEMA_VERSION:
+            raise ClusterWorkerError(
+                f"shard stats schema mismatch: worker sent "
+                f"v{self.schema}, router expects "
+                f"v{SHARD_STATS_SCHEMA_VERSION}"
+            )
+        for f in fields(self):
+            if not isinstance(getattr(self, f.name), int):
+                raise ClusterWorkerError(
+                    f"shard stats field {f.name!r} is not an int: "
+                    f"{getattr(self, f.name)!r}"
+                )
+        return self
 
 
 @dataclass
@@ -102,6 +174,10 @@ class WorkerInit:
     """The primary session's mutation counter at partition time: replica
     sessions start from it so sampling keys (and the router's drift check)
     stay aligned even when the global session had pre-router history."""
+    telemetry: bool = False
+    """Captured from :func:`repro.obs.trace.tracing_enabled` at router
+    construction: a child process does not inherit the parent's contextvars,
+    so the flag travels with the init payload."""
 
 
 def _load_model(init: WorkerInit):
@@ -136,7 +212,12 @@ class ShardWorker:
             initial_version=init.base_version,
         )
         self.engine = InferenceEngine(self.model, self.session, init.config)
-        self._requests = 0
+        self._requests = active_metrics().counter(
+            "cluster.shard.requests",
+            component="shard_worker",
+            shard=self.shard_id,
+            instance=next_instance(),
+        )
 
     # ------------------------------------------------------------------ #
     # Commands
@@ -149,7 +230,7 @@ class ShardWorker:
             raise ClusterWorkerError(
                 f"shard {self.shard_id} does not own nodes {stray[:8].tolist()}"
             )
-        self._requests += int(nodes.size)
+        self._requests.inc(int(nodes.size))
         return self.engine.predict_logits(nodes)
 
     def apply(self, update: ShardUpdate) -> int:
@@ -192,26 +273,27 @@ class ShardWorker:
         )
         return session.version
 
-    def stats(self) -> Dict:
+    def stats(self) -> ShardStatsSnapshot:
         """Cache + throughput + fused-plan counters of this replica."""
         cache = self.engine.cache_stats
         owned = int(np.count_nonzero(self._owned_mask))
-        return {
-            "shard_id": self.shard_id,
-            "owned": owned,
-            "halo": int(self._local.size) - owned,
-            "requests": self._requests,
-            "version": self.session.version,
-            "hits": 0 if cache is None else cache.hits,
-            "misses": 0 if cache is None else cache.misses,
-            "invalidated": 0 if cache is None else cache.invalidated,
-            "cache_size": 0 if cache is None else cache.size,
-            "plans_recorded": 0 if cache is None else cache.plans_recorded,
-            "plan_replays": 0 if cache is None else cache.plan_replays,
-            "plan_fallbacks": 0 if cache is None else cache.plan_fallbacks,
-            "megabatches": 0 if cache is None else cache.megabatches,
-            "megabatch_nodes": 0 if cache is None else cache.megabatch_nodes,
-        }
+        return ShardStatsSnapshot(
+            schema=SHARD_STATS_SCHEMA_VERSION,
+            shard_id=self.shard_id,
+            owned=owned,
+            halo=int(self._local.size) - owned,
+            requests=self._requests.value,
+            version=self.session.version,
+            hits=0 if cache is None else cache.hits,
+            misses=0 if cache is None else cache.misses,
+            invalidated=0 if cache is None else cache.invalidated,
+            cache_size=0 if cache is None else cache.size,
+            plans_recorded=0 if cache is None else cache.plans_recorded,
+            plan_replays=0 if cache is None else cache.plan_replays,
+            plan_fallbacks=0 if cache is None else cache.plan_fallbacks,
+            megabatches=0 if cache is None else cache.megabatches,
+            megabatch_nodes=0 if cache is None else cache.megabatch_nodes,
+        )
 
     def handle(self, command: str, payload) -> object:
         """Dispatch one protocol command (shared by both worker frontends)."""
@@ -231,12 +313,20 @@ class InProcessWorker:
         self._worker = ShardWorker(init)
         self._pending: Optional[Tuple[str, object]] = None
 
-    def send(self, command: str, payload=None) -> None:
+    def send(self, command: str, payload=None, ctx=None) -> None:
         if command == "shutdown":
             self._pending = ("ok", None)
             return
         try:
-            self._pending = ("ok", self._worker.handle(command, payload))
+            with adopt(ctx):
+                with obs_span("worker.handle") as handle_span:
+                    handle_span.set(
+                        command=command, shard=self._worker.shard_id
+                    )
+                    self._pending = (
+                        "ok",
+                        self._worker.handle(command, payload),
+                    )
         except Exception as error:  # noqa: BLE001 - mirrored to the protocol
             self._pending = ("error", f"{type(error).__name__}: {error}")
 
@@ -247,8 +337,8 @@ class InProcessWorker:
             raise ClusterWorkerError(value)
         return value
 
-    def request(self, command: str, payload=None):
-        self.send(command, payload)
+    def request(self, command: str, payload=None, ctx=None):
+        self.send(command, payload, ctx)
         return self.recv()
 
     def close(self) -> None:
@@ -261,6 +351,8 @@ def _worker_main(
     """Child-process entry: build the replica, serve the command pipe."""
     from repro.sparse.backend import use_backend
 
+    if init.telemetry:
+        set_tracing(True)
     scope = use_backend(init.backend) if init.backend else nullcontext()
     with scope:
         try:
@@ -269,18 +361,46 @@ def _worker_main(
             conn.send(("error", f"{type(error).__name__}: {error}"))
             return
         conn.send(("ok", worker.shard_id))
+        tracer = get_tracer()
+        tracer.drain()  # discard construction-time spans (no parent request)
         while True:
             try:
-                command, payload = conn.recv()
+                message = conn.recv()
             except (EOFError, OSError):
                 return
+            # Commands are (command, payload, ctx) since the telemetry
+            # protocol bump; plain 2-tuples remain accepted.
+            if len(message) == 3:
+                command, payload, ctx = message
+            else:
+                command, payload = message
+                ctx = None
             if command == "shutdown":
                 conn.send(("ok", None))
                 return
+            received_at = time.time()
             try:
-                conn.send(("ok", worker.handle(command, payload)))
+                with adopt(ctx):
+                    with obs_span("worker.handle") as handle_span:
+                        if ctx is not None:
+                            handle_span.set(
+                                command=command,
+                                shard=worker.shard_id,
+                                ipc_wait_s=round(
+                                    received_at - ctx.sent_at, 6
+                                ),
+                            )
+                        value = worker.handle(command, payload)
             except Exception as error:  # noqa: BLE001 - mirrored to the protocol
                 conn.send(("error", f"{type(error).__name__}: {error}"))
+                continue
+            # Ship the spans recorded while handling (child processes have
+            # no other path back to the parent's trace store).
+            shipped = tracer.drain() if ctx is not None else []
+            if shipped:
+                conn.send(("ok", value, shipped))
+            else:
+                conn.send(("ok", value))
 
 
 class ProcessWorker:
@@ -301,17 +421,22 @@ class ProcessWorker:
             self.close()
             raise ClusterWorkerError(value)
 
-    def send(self, command: str, payload=None) -> None:
-        self._conn.send((command, payload))
+    def send(self, command: str, payload=None, ctx=None) -> None:
+        self._conn.send((command, payload, ctx))
 
     def recv(self):
-        status, value = self._conn.recv()
+        reply = self._conn.recv()
+        status, value = reply[0], reply[1]
         if status == "error":
             raise ClusterWorkerError(value)
+        if len(reply) == 3 and reply[2]:
+            # Spans recorded in the child while handling this command:
+            # stitch them into the router-process trace store.
+            get_tracer().ingest(reply[2])
         return value
 
-    def request(self, command: str, payload=None):
-        self.send(command, payload)
+    def request(self, command: str, payload=None, ctx=None):
+        self.send(command, payload, ctx)
         return self.recv()
 
     def close(self) -> None:

@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.gnn.sampling import SampledBlock, block_propagation
+from repro.obs.trace import span as obs_span
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import block_diag_csr
 
@@ -269,6 +270,17 @@ def pack_blocks(
     kinds: Sequence[str],
     dense: bool = False,
 ) -> PackedBatch:
+    """Traced wrapper around :func:`_pack_blocks` (``plan.pack`` span)."""
+    with obs_span("plan.pack") as pack_span:
+        pack_span.set(segments=len(stacks))
+        return _pack_blocks(stacks, kinds, dense)
+
+
+def _pack_blocks(
+    stacks: Sequence[Sequence[SampledBlock]],
+    kinds: Sequence[str],
+    dense: bool = False,
+) -> PackedBatch:
     """Pack per-segment ego-block stacks into one replayable megabatch.
 
     ``stacks`` holds one block stack (input layer first, all the same depth)
@@ -373,6 +385,19 @@ class InferencePlan:
         return f"InferencePlan(ops={self.op_count}, kinds={self.kinds})"
 
     def replay(
+        self,
+        features: np.ndarray,
+        packed: PackedBatch,
+        pool: Optional[BufferPool] = None,
+    ) -> np.ndarray:
+        """Traced wrapper around :meth:`_replay` (``plan.replay`` span)."""
+        with obs_span("plan.replay") as replay_span:
+            replay_span.set(
+                rows=int(packed.src_gather.size), segments=packed.num_segments
+            )
+            return self._replay(features, packed, pool)
+
+    def _replay(
         self,
         features: np.ndarray,
         packed: PackedBatch,

@@ -126,6 +126,14 @@ class GraphStats:
 
 STATS = GraphStats()
 
+# Expose the tape counters through the shared metrics registry as a
+# read-only snapshot collector: the hot path (one increment per recorded
+# node / fired VJP) stays a lock-free slots object, but `repro.obs`
+# snapshots and the CLI still see it alongside every other metric.
+from repro.obs.metrics import register_collector as _register_collector
+
+_register_collector("autodiff.tape", STATS.snapshot)
+
 
 # ---------------------------------------------------------------------- #
 # Sparse adjoints

@@ -1,0 +1,72 @@
+"""Serving-time SLO checks: turn measured latency distributions into CI gates.
+
+``--slo p99=50`` (milliseconds) on the serving CLIs parses through
+:func:`parse_slo` and evaluates through :func:`check_slo` against the
+request-latency histogram the bench loop fills — a violated objective turns
+the run's exit code to 1, which is all a CI job needs to fail a regression.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.obs.metrics import Histogram
+
+__all__ = ["parse_slo", "check_slo", "format_slo"]
+
+_QUANTILES = {"p50": 0.50, "p90": 0.90, "p99": 0.99}
+
+
+def parse_slo(text: str) -> Dict[str, float]:
+    """Parse ``"p99=50"`` / ``"p50=10,p99=50"`` (milliseconds) to seconds.
+
+    Raises ``ValueError`` on unknown quantile names or non-positive bounds,
+    so a typo fails the CLI at argument-parsing time, not after the run.
+    """
+    objectives: Dict[str, float] = {}
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        name, _, bound = clause.partition("=")
+        name = name.strip().lower()
+        if name not in _QUANTILES:
+            raise ValueError(
+                f"unknown SLO quantile {name!r} "
+                f"(supported: {', '.join(sorted(_QUANTILES))})"
+            )
+        try:
+            millis = float(bound)
+        except ValueError:
+            raise ValueError(f"SLO bound {bound!r} is not a number") from None
+        if millis <= 0:
+            raise ValueError(f"SLO bound for {name} must be positive")
+        objectives[name] = millis / 1e3
+    if not objectives:
+        raise ValueError("empty SLO specification")
+    return objectives
+
+
+def check_slo(
+    latency: Union[Histogram, Dict], objectives: Dict[str, float]
+) -> List[str]:
+    """Violation messages (empty = pass) for ``objectives`` against
+    ``latency`` — a live :class:`Histogram` or its ``snapshot()`` dict."""
+    violations: List[str] = []
+    for name in sorted(objectives):
+        bound = objectives[name]
+        if isinstance(latency, Histogram):
+            measured = latency.quantile(_QUANTILES[name])
+        else:
+            measured = float(latency.get(name, 0.0))
+        if measured > bound:
+            violations.append(
+                f"{name} {measured * 1e3:.2f}ms exceeds SLO {bound * 1e3:.2f}ms"
+            )
+    return violations
+
+
+def format_slo(objectives: Dict[str, float]) -> str:
+    return ", ".join(
+        f"{name}≤{objectives[name] * 1e3:g}ms" for name in sorted(objectives)
+    )

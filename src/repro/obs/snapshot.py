@@ -1,0 +1,162 @@
+"""Structured JSON snapshot emission and reading.
+
+A snapshot is one JSON object — wall-clock timestamp, full metrics-registry
+dump (totals, counters, gauges, histogram quantiles) and the most recent
+trace trees — appended as one line to a JSONL file.  The serve/cluster loops
+emit them periodically (and once at shutdown); the ``repro.obs`` CLI reads
+them back for ``dump`` / ``watch`` / ``trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, active_metrics
+from repro.obs.trace import Tracer, get_tracer
+
+__all__ = [
+    "DEFAULT_SNAPSHOT_PATH",
+    "SnapshotEmitter",
+    "read_snapshots",
+    "latest_snapshot",
+]
+
+DEFAULT_SNAPSHOT_PATH = os.path.join("results", "obs", "telemetry.jsonl")
+
+
+def _jsonable(value):
+    """Best-effort coercion of attr values (numpy scalars, tuples) to JSON."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and callable(value.item):
+        try:
+            return value.item()
+        except Exception:  # pragma: no cover - exotic array attr
+            return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class SnapshotEmitter:
+    """Appends registry + trace snapshots to a JSONL file.
+
+    ``interval`` > 0 starts a daemon thread emitting every ``interval``
+    seconds between :meth:`start` and :meth:`stop`; :meth:`stop` (and the
+    context-manager exit) always emits one final snapshot, so even a short
+    run leaves a complete record behind.
+    """
+
+    def __init__(
+        self,
+        path: str = DEFAULT_SNAPSHOT_PATH,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
+        interval: float = 0.0,
+        max_traces: int = 16,
+    ) -> None:
+        self.path = path
+        self.interval = float(interval)
+        self.max_traces = int(max_traces)
+        self._registry = registry
+        self._tracer = tracer
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self._registry if self._registry is not None else active_metrics()
+
+    @property
+    def tracer(self) -> Tracer:
+        return self._tracer if self._tracer is not None else get_tracer()
+
+    def snapshot(self, extra: Optional[Dict] = None) -> Dict:
+        payload = {
+            "time": time.time(),
+            "pid": os.getpid(),
+            "metrics": self.registry.snapshot(),
+            "traces": {
+                tid: [_jsonable(s) for s in spans]
+                for tid, spans in self.tracer.export_traces(self.max_traces).items()
+            },
+        }
+        if extra:
+            payload.update(_jsonable(extra))
+        return payload
+
+    def emit(self, extra: Optional[Dict] = None) -> Dict:
+        """Append one snapshot line; returns the emitted payload."""
+        payload = self.snapshot(extra)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(_jsonable(payload)) + "\n")
+        return payload
+
+    # ------------------------------------------------------------------ #
+    # Periodic emission
+    # ------------------------------------------------------------------ #
+    def start(self) -> "SnapshotEmitter":
+        if self.interval > 0 and self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._loop, daemon=True)
+            self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.emit()
+            except Exception:  # pragma: no cover - emission must not kill serving
+                pass
+
+    def stop(self, extra: Optional[Dict] = None) -> None:
+        """Stop the periodic thread (if any) and emit a final snapshot."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=5.0)
+        self.emit(extra)
+
+    def __enter__(self) -> "SnapshotEmitter":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def read_snapshots(path: str) -> List[Dict]:
+    """All snapshots in a JSONL file (corrupt/torn lines skipped)."""
+    snapshots: List[Dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    snapshots.append(json.loads(line))
+                except json.JSONDecodeError:
+                    continue
+    except FileNotFoundError:
+        raise FileNotFoundError(
+            f"no telemetry snapshots at {path!r}; run a serve loop with "
+            "--telemetry (or point --path at its --obs-path)"
+        )
+    return snapshots
+
+
+def latest_snapshot(path: str) -> Dict:
+    """The most recent snapshot in a JSONL file."""
+    snapshots = read_snapshots(path)
+    if not snapshots:
+        raise ValueError(f"{path!r} holds no readable snapshots")
+    return snapshots[-1]

@@ -1,0 +1,93 @@
+"""The unified timer: context manager, decorator, re-entrant and nestable.
+
+Folds the old :class:`repro.utils.timing.Timer` (re-exported from there for
+backward compatibility) into the telemetry layer: a Timer can feed a named
+registry histogram and/or open a trace span per timed section, so ad-hoc
+``time.perf_counter()`` bookkeeping and the span/metrics APIs are one thing.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import List, Optional
+
+from repro.obs.metrics import Histogram, active_metrics
+from repro.obs.trace import span as obs_span
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Wall-clock timer usable as a context manager and as a decorator.
+
+    Re-entrant and nestable: each ``with timer:`` pushes its own start, so
+    one instance can time recursive or overlapping sections.  ``elapsed`` is
+    the most recently completed section (the historical API); ``total`` and
+    ``count`` accumulate across sections.
+
+    ``histogram`` names a latency histogram in the active metrics registry
+    (resolved lazily, one observation per section); ``trace=True``
+    additionally opens a span named after ``label`` per section.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0
+    True
+    """
+
+    def __init__(
+        self,
+        label: str = "",
+        histogram: Optional[str] = None,
+        trace: bool = False,
+    ) -> None:
+        self.label = label
+        self.elapsed: float = 0.0
+        self.total: float = 0.0
+        self.count: int = 0
+        self._starts: List[float] = []
+        self._spans: List[object] = []
+        self._histogram_name = histogram
+        self._histogram: Optional[Histogram] = None
+        self._trace = trace
+
+    # Kept for compatibility with the historical single-shot Timer.
+    @property
+    def _start(self) -> Optional[float]:
+        return self._starts[-1] if self._starts else None
+
+    def __enter__(self) -> "Timer":
+        if self._trace:
+            self._spans.append(obs_span(self.label or "timer"))
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if not self._starts:
+            return
+        self.elapsed = time.perf_counter() - self._starts.pop()
+        self.total += self.elapsed
+        self.count += 1
+        if self._histogram_name is not None:
+            if self._histogram is None:
+                self._histogram = active_metrics().histogram(self._histogram_name)
+            self._histogram.observe(self.elapsed)
+        if self._spans:
+            self._spans.pop().finish()
+
+    def __call__(self, fn):
+        """Decorator form: every call of ``fn`` is one timed section."""
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self:
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f"{self.label}: " if self.label else ""
+        return f"<Timer {label}{self.elapsed:.4f}s>"

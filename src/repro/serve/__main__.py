@@ -26,6 +26,10 @@ import numpy as np
 
 from repro.datasets import load_dataset
 from repro.gnn.models import MODEL_REGISTRY, build_model
+from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.slo import check_slo, format_slo, parse_slo
+from repro.obs.snapshot import DEFAULT_SNAPSHOT_PATH, SnapshotEmitter
+from repro.obs.trace import set_tracing
 from repro.gnn.trainer import TrainConfig, Trainer
 from repro.serve.batching import RequestBatcher
 from repro.serve.engine import InferenceEngine, ServeConfig
@@ -94,6 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve through a sharded worker cluster instead of one engine "
         "(delegates to python -m repro.cluster serve)",
     )
+    add_telemetry_arguments(serve)
 
     commands.add_parser(
         "list", parents=[common], help="list registered models and versions"
@@ -124,6 +129,35 @@ def build_parser() -> argparse.ArgumentParser:
     unpin.add_argument("--name", required=True)
     unpin.add_argument("--version", type=int, required=True)
     return parser
+
+
+def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The telemetry flag group shared by the serve and cluster CLIs."""
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="enable request tracing and telemetry snapshot emission",
+    )
+    parser.add_argument(
+        "--obs-path",
+        default=DEFAULT_SNAPSHOT_PATH,
+        help=f"telemetry snapshot JSONL path (default: {DEFAULT_SNAPSHOT_PATH})",
+    )
+    parser.add_argument(
+        "--obs-interval",
+        type=float,
+        default=0.0,
+        help="emit a snapshot every N seconds while serving "
+        "(default: one final snapshot)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=parse_slo,
+        default=None,
+        metavar="SPEC",
+        help="latency objectives in ms, e.g. 'p99=50' or 'p50=10,p99=50'; "
+        "violations exit 1",
+    )
 
 
 def _rebuild_graph(meta: dict):
@@ -184,7 +218,16 @@ def cmd_serve(args) -> int:
             "--mutate", str(args.mutate),
             "--seed", str(args.seed),
             "--batch-size", str(args.batch_size),
+            "--obs-path", args.obs_path,
+            "--obs-interval", str(args.obs_interval),
         ]
+        if args.telemetry:
+            argv.append("--telemetry")
+        if args.slo is not None:
+            argv += [
+                "--slo",
+                ",".join(f"{k}={v * 1e3:g}" for k, v in args.slo.items()),
+            ]
         if args.version is not None:
             argv += ["--version", str(args.version)]
         if args.fanouts is not None:
@@ -202,11 +245,26 @@ def cmd_serve(args) -> int:
     session = GraphSession.from_graph(graph)
     engine = InferenceEngine(model, session, ServeConfig(fanouts=args.fanouts))
     batcher = RequestBatcher(engine, max_batch_size=args.batch_size).start()
+    if args.telemetry:
+        set_tracing(True)
+    emitter = (
+        SnapshotEmitter(args.obs_path, interval=args.obs_interval)
+        if args.telemetry
+        else None
+    )
+    if emitter is not None and args.obs_interval > 0:
+        emitter.start()
 
     rng = np.random.default_rng(args.seed)
     nodes = rng.integers(0, session.num_nodes, size=args.requests)
     half = args.requests // 2
-    latencies: List[float] = []
+    # The bench loop's own latency record is a registry histogram (streaming
+    # p50/p99 over log-spaced buckets) instead of the old perf_counter list.
+    latency = active_metrics().histogram(
+        "serve.cli.latency",
+        component="serve_cli",
+        instance=next_instance(),
+    )
 
     def fire(batch_nodes) -> None:
         pending = [
@@ -214,7 +272,7 @@ def cmd_serve(args) -> int:
         ]
         for submitted, future in pending:
             future.result()
-            latencies.append(time.perf_counter() - submitted)
+            latency.observe(time.perf_counter() - submitted)
 
     started = time.perf_counter()
     fire(nodes[:half])
@@ -232,17 +290,19 @@ def cmd_serve(args) -> int:
     fire(nodes[half:])
     elapsed = time.perf_counter() - started
     batcher.stop()
+    if emitter is not None:
+        emitter.stop() if args.obs_interval > 0 else emitter.emit()
+        print(f"telemetry: snapshots at {args.obs_path}")
 
     stats = engine.cache_stats
     print(
         f"served {args.requests} requests in {elapsed:.3f}s "
         f"({args.requests / elapsed:.0f} req/s)"
     )
-    if latencies:
-        ordered = np.sort(latencies)
+    if latency.count:
         print(
-            f"latency p50 {ordered[int(0.50 * (len(ordered) - 1))] * 1e3:.2f}ms  "
-            f"p99 {ordered[int(0.99 * (len(ordered) - 1))] * 1e3:.2f}ms"
+            f"latency p50 {latency.quantile(0.50) * 1e3:.2f}ms  "
+            f"p99 {latency.quantile(0.99) * 1e3:.2f}ms"
         )
     if stats is not None:
         print(
@@ -253,6 +313,13 @@ def cmd_serve(args) -> int:
         f"batches: {batcher.stats.batches} "
         f"(mean size {batcher.stats.mean_batch_size:.1f})"
     )
+    if args.slo is not None:
+        violations = check_slo(latency, args.slo)
+        if violations:
+            for violation in violations:
+                print(f"SLO FAIL: {violation}")
+            return 1
+        print(f"SLO OK: {format_slo(args.slo)}")
     return 0
 
 

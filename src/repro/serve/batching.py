@@ -19,11 +19,19 @@ engine seed)`` — exhaustive *and* keyed-sampled modes alike — the responses
 are independent of how requests happen to be coalesced: any number of
 submitting threads, any drain interleaving, same answers.  The batcher
 determinism test drives exactly that scenario.
+
+Telemetry: every :meth:`submit` opens a root ``request`` trace whose
+``batcher.queue`` child measures queue wait.  Coalesced batches run the
+shared engine call under the *first* request's trace (the leader); the other
+roots carry a ``coalesced_into`` attribute pointing at the leader's trace
+id.  Queue-wait and end-to-end latency also feed registry histograms when
+tracing is on.  All of this is inert when telemetry is disabled.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass
@@ -31,6 +39,10 @@ from typing import Deque, List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.trace import NULL_SPAN, get_tracer
+from repro.obs.trace import span as obs_span
+from repro.obs.trace import start_trace
 from repro.serve.engine import InferenceEngine
 
 __all__ = ["BatcherStats", "RequestBatcher"]
@@ -40,9 +52,10 @@ __all__ = ["BatcherStats", "RequestBatcher"]
 class BatcherStats:
     """Throughput bookkeeping of a :class:`RequestBatcher`.
 
-    ``megabatches`` counts the pops that coalesced more than one
-    ``max_batch_size`` micro-batch into a single engine call;
-    ``largest_batch`` is the biggest single pop observed.
+    A thin frozen view over the batcher's registry counters
+    (:mod:`repro.obs.metrics`).  ``megabatches`` counts the pops that
+    coalesced more than one ``max_batch_size`` micro-batch into a single
+    engine call; ``largest_batch`` is the biggest single pop observed.
     """
 
     requests: int
@@ -53,6 +66,10 @@ class BatcherStats:
     @property
     def mean_batch_size(self) -> float:
         return self.requests / self.batches if self.batches else 0.0
+
+
+# Queue entry: (node, future, submit perf-counter, root span, queue span).
+_Entry = Tuple[int, Future, float, object, object]
 
 
 class RequestBatcher:
@@ -79,15 +96,21 @@ class RequestBatcher:
         self.engine = engine
         self.max_batch_size = int(max_batch_size)
         self.coalesce_batches = int(coalesce_batches)
-        self._queue: "Deque[Tuple[int, Future]]" = deque()
+        self._queue: "Deque[_Entry]" = deque()
         self._lock = threading.Lock()
         self._wakeup = threading.Event()
         self._stop = threading.Event()
         self._worker: Optional[threading.Thread] = None
-        self._requests = 0
-        self._batches = 0
-        self._megabatches = 0
-        self._largest_batch = 0
+        metrics = active_metrics()
+        labels = {"component": "batcher", "instance": next_instance()}
+        self._requests = metrics.counter("serve.batcher.requests", **labels)
+        self._batches = metrics.counter("serve.batcher.batches", **labels)
+        self._megabatches = metrics.counter("serve.batcher.megabatches", **labels)
+        self._largest_batch = metrics.gauge("serve.batcher.largest_batch", **labels)
+        # Latency distributions only fill while tracing is enabled — the
+        # disabled serving leg stays within its ≤2% overhead budget.
+        self._queue_wait = metrics.histogram("serve.batcher.queue_wait", **labels)
+        self._latency = metrics.histogram("serve.request.latency", **labels)
 
     # ------------------------------------------------------------------ #
     # Submission
@@ -105,9 +128,16 @@ class RequestBatcher:
                 ValueError(f"node index {node} out of bounds")
             )
             return future
+        root = start_trace("request")
+        queue_span = NULL_SPAN
+        if root is not NULL_SPAN:
+            root.set(node=node)
+            queue_span = get_tracer().span("batcher.queue", parent=root)
         with self._lock:
-            self._queue.append((node, future))
-            self._requests += 1
+            self._queue.append(
+                (node, future, time.perf_counter(), root, queue_span)
+            )
+            self._requests.inc()
         self._wakeup.set()
         return future
 
@@ -156,18 +186,17 @@ class RequestBatcher:
 
     @property
     def stats(self) -> BatcherStats:
-        with self._lock:
-            return BatcherStats(
-                requests=self._requests,
-                batches=self._batches,
-                megabatches=self._megabatches,
-                largest_batch=self._largest_batch,
-            )
+        return BatcherStats(
+            requests=self._requests.value,
+            batches=self._batches.value,
+            megabatches=self._megabatches.value,
+            largest_batch=int(self._largest_batch.value),
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
-    def _pop_batch(self) -> List[Tuple[int, Future]]:
+    def _pop_batch(self) -> List[_Entry]:
         limit = self.max_batch_size * self.coalesce_batches
         with self._lock:
             if not self._queue:
@@ -176,22 +205,47 @@ class RequestBatcher:
                 self._queue.popleft()
                 for _ in range(min(limit, len(self._queue)))
             ]
-            self._batches += 1
+            self._batches.inc()
             if len(batch) > self.max_batch_size:
-                self._megabatches += 1
-            self._largest_batch = max(self._largest_batch, len(batch))
-            return batch
+                self._megabatches.inc()
+            if len(batch) > self._largest_batch.value:
+                self._largest_batch.set(len(batch))
+        # Queue-wait spans close at pop: request left the queue here.  The
+        # engine call that follows runs under the leader's trace.
+        if batch[0][4] is not NULL_SPAN:
+            now = time.perf_counter()
+            for _, _, t_submit, _, queue_span in batch:
+                queue_span.finish()
+                self._queue_wait.observe(now - t_submit)
+        return batch
 
-    def _answer(self, batch: List[Tuple[int, Future]]) -> None:
-        nodes = np.asarray([node for node, _ in batch], dtype=np.int64)
+    def _answer(self, batch: List[_Entry]) -> None:
+        nodes = np.asarray([entry[0] for entry in batch], dtype=np.int64)
+        leader = batch[0][3]
         try:
-            rows = self.engine.predict_proba(nodes)
+            if leader is not NULL_SPAN:
+                for _, _, _, root, _ in batch[1:]:
+                    root.set(coalesced_into=leader.trace_id)
+                with leader.active():
+                    with obs_span("batcher.engine_call") as call_span:
+                        call_span.set(batch=len(batch))
+                        rows = self.engine.predict_proba(nodes)
+            else:
+                rows = self.engine.predict_proba(nodes)
         except Exception as error:  # pragma: no cover - propagated to callers
-            for _, future in batch:
+            for _, future, _, root, _ in batch:
                 future.set_exception(error)
+                if root is not NULL_SPAN:
+                    root.set(error=type(error).__name__)
+                    root.finish()
             return
-        for (_, future), row in zip(batch, rows):
+        for (_, future, _, _, _), row in zip(batch, rows):
             future.set_result(row)
+        if leader is not NULL_SPAN:
+            done = time.perf_counter()
+            for _, _, t_submit, root, _ in batch:
+                root.finish()
+                self._latency.observe(done - t_submit)
 
     def _drain_loop(self) -> None:
         while not self._stop.is_set():

@@ -46,6 +46,8 @@ from repro.gnn.plan import (
 )
 from repro.gnn.sampling import NeighborSampler
 from repro.graphs.khop import khop_frontier
+from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.trace import span as obs_span
 from repro.serve.session import GraphSession, MutationEvent
 from repro.sparse.backend import get_backend_name
 from repro.utils.cache import stable_hash
@@ -156,9 +158,13 @@ class LogitCache:
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[int, Tuple[int, np.ndarray]]" = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._invalidated = 0
+        # Counters live in the shared metrics registry (one label set per
+        # cache); the LogitCacheStats dataclass is a thin view over them.
+        metrics = active_metrics()
+        labels = {"component": "logit_cache", "instance": next_instance()}
+        self._hits = metrics.counter("serve.logit_cache.hits", **labels)
+        self._misses = metrics.counter("serve.logit_cache.misses", **labels)
+        self._invalidated = metrics.counter("serve.logit_cache.invalidated", **labels)
 
     def lookup(
         self, nodes: Iterable[int], revision: int
@@ -171,11 +177,15 @@ class LogitCache:
                 entry = self._entries.get(node)
                 if entry is not None and entry[0] == revision:
                     self._entries.move_to_end(node)
-                    self._hits += 1
                     found[node] = entry[1]
                 else:
-                    self._misses += 1
                     missing.append(node)
+        # One registry increment per batch, not per node: the warm path
+        # stays O(1) lock acquisitions per lookup.
+        if found:
+            self._hits.inc(len(found))
+        if missing:
+            self._misses.inc(len(missing))
         return found, missing
 
     def store(self, nodes: Sequence[int], revision: int, rows: np.ndarray) -> None:
@@ -214,7 +224,8 @@ class LogitCache:
                     dropped += 1
                 else:
                     self._entries[node] = (new_revision, row)
-            self._invalidated += dropped
+        if dropped:
+            self._invalidated.inc(dropped)
         return dropped
 
     def clear(self) -> None:
@@ -225,9 +236,9 @@ class LogitCache:
     def stats(self) -> LogitCacheStats:
         with self._lock:
             return LogitCacheStats(
-                hits=self._hits,
-                misses=self._misses,
-                invalidated=self._invalidated,
+                hits=self._hits.value,
+                misses=self._misses.value,
+                invalidated=self._invalidated.value,
                 size=len(self._entries),
             )
 
@@ -272,11 +283,13 @@ class InferenceEngine:
         self._params_ids: Optional[Tuple[int, ...]] = None
         self._params_hash: Optional[str] = None
         self._sig_hash: Optional[str] = None
-        self._plans_recorded = 0
-        self._plan_replays = 0
-        self._plan_fallbacks = 0
-        self._megabatches = 0
-        self._megabatch_nodes = 0
+        metrics = active_metrics()
+        labels = {"component": "engine", "instance": next_instance()}
+        self._plans_recorded = metrics.counter("serve.plan.recorded", **labels)
+        self._plan_replays = metrics.counter("serve.plan.replays", **labels)
+        self._plan_fallbacks = metrics.counter("serve.plan.fallbacks", **labels)
+        self._megabatches = metrics.counter("serve.plan.megabatches", **labels)
+        self._megabatch_nodes = metrics.counter("serve.plan.megabatch_nodes", **labels)
         # Revision-keyed memo of the GAT full-graph fallback forward, so a
         # batcher flush split into several miss batches still pays exactly
         # one Θ(N²) forward per structure revision.
@@ -297,26 +310,36 @@ class InferenceEngine:
             raise ValueError("node index out of bounds")
         unique = np.unique(nodes)
         revision = self.session.revision
-        if self._cache is not None:
-            found, missing = self._cache.lookup(unique.tolist(), revision)
-        else:
-            found, missing = {}, unique.tolist()
-        if missing:
-            miss_nodes = np.asarray(missing, dtype=np.int64)
-            if self._layers is None:
-                # Full-graph fallback (GAT): the forward produced every row
-                # anyway, so cache them all — one Θ(N²) forward amortises
-                # over the whole node set instead of one miss batch.
-                full = self._full_graph_logits(revision)
+        with obs_span("engine.predict") as engine_span:
+            engine_span.set(nodes=int(nodes.size), unique=int(unique.size))
+            with obs_span("engine.cache_lookup"):
                 if self._cache is not None:
-                    self._cache.store(range(full.shape[0]), revision, full)
-                rows = full[miss_nodes]
-            else:
-                rows = self._compute(miss_nodes)
-                if self._cache is not None:
-                    self._cache.store(missing, revision, rows)
-            for node, row in zip(missing, rows):
-                found[int(node)] = row
+                    found, missing = self._cache.lookup(unique.tolist(), revision)
+                else:
+                    found, missing = {}, unique.tolist()
+            if missing:
+                with obs_span("engine.miss_coalesce") as miss_span:
+                    miss_span.set(misses=len(missing))
+                    miss_nodes = np.asarray(missing, dtype=np.int64)
+                    if self._layers is None:
+                        # Full-graph fallback (GAT): the forward produced
+                        # every row anyway, so cache them all — one Θ(N²)
+                        # forward amortises over the whole node set instead
+                        # of one miss batch.
+                        full = self._full_graph_logits(revision)
+                        if self._cache is not None:
+                            with obs_span("engine.cache_store"):
+                                self._cache.store(
+                                    range(full.shape[0]), revision, full
+                                )
+                        rows = full[miss_nodes]
+                    else:
+                        rows = self._compute(miss_nodes)
+                        if self._cache is not None:
+                            with obs_span("engine.cache_store"):
+                                self._cache.store(missing, revision, rows)
+                    for node, row in zip(missing, rows):
+                        found[int(node)] = row
         return np.stack([found[int(node)] for node in nodes])
 
     def predict_proba(self, nodes) -> np.ndarray:
@@ -339,15 +362,14 @@ class InferenceEngine:
             if self._cache is None
             else self._cache.stats
         )
-        with self._plan_lock:
-            return replace(
-                base,
-                plans_recorded=self._plans_recorded,
-                plan_replays=self._plan_replays,
-                plan_fallbacks=self._plan_fallbacks,
-                megabatches=self._megabatches,
-                megabatch_nodes=self._megabatch_nodes,
-            )
+        return replace(
+            base,
+            plans_recorded=self._plans_recorded.value,
+            plan_replays=self._plan_replays.value,
+            plan_fallbacks=self._plan_fallbacks.value,
+            megabatches=self._megabatches.value,
+            megabatch_nodes=self._megabatch_nodes.value,
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -412,8 +434,12 @@ class InferenceEngine:
             sampler = self._sampler
         key = self._sampling_key()
         if not self.config.plan:
-            blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
-            return self.model.predict_logits_blocks(self.session.features, blocks)
+            with obs_span("sample.ego_blocks"):
+                blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
+            with obs_span("engine.unfused_forward"):
+                return self.model.predict_logits_blocks(
+                    self.session.features, blocks
+                )
 
         # Fused path: resolve (or record) the plan, sample the miss batch in
         # megabatch segments, pack them into one block-diagonal operator
@@ -429,29 +455,37 @@ class InferenceEngine:
                 fresh = False
                 if plan is None:
                     try:
-                        plan = record_plan(self.model)
+                        with obs_span("plan.record"):
+                            plan = record_plan(self.model)
                         fresh = True
                     except PlanUnsupported:
                         self._plan_unsupported = True
         if plan is None:
-            with self._plan_lock:
-                self._plan_fallbacks += 1
-            blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
-            return self.model.predict_logits_blocks(self.session.features, blocks)
+            self._plan_fallbacks.inc()
+            with obs_span("sample.ego_blocks"):
+                blocks = sampler.ego_blocks(nodes, self._fanouts, key=key)
+            with obs_span("engine.unfused_forward"):
+                return self.model.predict_logits_blocks(
+                    self.session.features, blocks
+                )
 
         segment = self.config.megabatch_segment
-        stacks = [
-            sampler.ego_blocks(nodes[start : start + segment], self._fanouts, key=key)
-            for start in range(0, nodes.size, segment)
-        ]
+        with obs_span("sample.ego_blocks") as sample_span:
+            sample_span.set(nodes=int(nodes.size), segment=segment)
+            stacks = [
+                sampler.ego_blocks(
+                    nodes[start : start + segment], self._fanouts, key=key
+                )
+                for start in range(0, nodes.size, segment)
+            ]
         dense = get_backend_name() == "dense"
         packed = pack_blocks(stacks, plan.kinds, dense=dense)
         with self._plan_lock:
             rows = plan.replay(self.session.features, packed, self._buffers)
             if not fresh:
-                self._plan_replays += 1
-                self._megabatches += 1
-                self._megabatch_nodes += int(nodes.size)
+                self._plan_replays.inc()
+                self._megabatches.inc()
+                self._megabatch_nodes.inc(int(nodes.size))
                 return rows
         # First use of a fresh recording: check it against the unfused
         # forward on this batch before caching it for replay.
@@ -463,14 +497,13 @@ class InferenceEngine:
         )
         if np.allclose(rows, reference, rtol=0.0, atol=1e-8):
             self._plan_cache.put(plan_key, plan)
-            with self._plan_lock:
-                self._plans_recorded += 1
-                self._megabatches += 1
-                self._megabatch_nodes += int(nodes.size)
+            self._plans_recorded.inc()
+            self._megabatches.inc()
+            self._megabatch_nodes.inc(int(nodes.size))
             return rows
         with self._plan_lock:  # pragma: no cover - defensive guard
             self._plan_unsupported = True
-            self._plan_fallbacks += 1
+            self._plan_fallbacks.inc()
         return reference
 
     def _on_mutation(self, event: MutationEvent) -> None:

@@ -46,7 +46,8 @@ CacheKey = Tuple[int, str, str]
 
 @dataclass(frozen=True)
 class OperatorCacheStats:
-    """Hit/miss counters of an :class:`OperatorCache`."""
+    """Hit/miss counters of an :class:`OperatorCache` — a thin frozen view
+    over the cache's registry counters (:mod:`repro.obs.metrics`)."""
 
     hits: int
     misses: int
@@ -68,9 +69,13 @@ class OperatorCache:
         self.maxsize = int(maxsize)
         self._entries: "OrderedDict[CacheKey, object]" = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        from repro.obs.metrics import active_metrics, next_instance
+
+        metrics = active_metrics()
+        labels = {"component": "operator_cache", "instance": next_instance()}
+        self._hits = metrics.counter("cache.operator.hits", **labels)
+        self._misses = metrics.counter("cache.operator.misses", **labels)
+        self._evictions = metrics.counter("cache.operator.evictions", **labels)
 
     def get_or_build(self, key: CacheKey, builder: Callable[[], object]) -> object:
         """Return the cached operator for ``key``, building it on a miss.
@@ -82,16 +87,16 @@ class OperatorCache:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
-                self._hits += 1
+                self._hits.inc()
                 return self._entries[key]
         value = builder()
         with self._lock:
-            self._misses += 1
+            self._misses.inc()
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
-                self._evictions += 1
+                self._evictions.inc()
         return value
 
     def clear(self) -> None:
@@ -102,10 +107,10 @@ class OperatorCache:
     def stats(self) -> OperatorCacheStats:
         with self._lock:
             return OperatorCacheStats(
-                hits=self._hits,
-                misses=self._misses,
+                hits=self._hits.value,
+                misses=self._misses.value,
                 size=len(self._entries),
-                evictions=self._evictions,
+                evictions=self._evictions.value,
             )
 
     def __len__(self) -> int:

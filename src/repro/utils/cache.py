@@ -76,7 +76,12 @@ def stable_hash(value) -> str:
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of an :class:`ArtifactCache`."""
+    """Hit/miss counters of an :class:`ArtifactCache`.
+
+    A thin frozen view over the cache's registry counters
+    (:mod:`repro.obs.metrics`) — the attribute API predates the registry and
+    is kept verbatim.
+    """
 
     hits: int
     misses: int
@@ -116,10 +121,16 @@ class ArtifactCache:
         self._entries: "OrderedDict[str, object]" = OrderedDict()
         self._key_locks: dict = {}
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._disk_hits = 0
-        self._disk_skipped = 0
+        # Counters live in the active metrics registry (one label set per
+        # cache instance); CacheStats stays a thin view over them.
+        from repro.obs.metrics import active_metrics, next_instance
+
+        metrics = active_metrics()
+        labels = {"component": "artifact_cache", "instance": next_instance()}
+        self._hits = metrics.counter("cache.artifact.hits", **labels)
+        self._misses = metrics.counter("cache.artifact.misses", **labels)
+        self._disk_hits = metrics.counter("cache.artifact.disk_hits", **labels)
+        self._disk_skipped = metrics.counter("cache.artifact.disk_skipped", **labels)
 
     # ------------------------------------------------------------------ #
     # Persistent tier
@@ -145,8 +156,7 @@ class ArtifactCache:
             except OSError:
                 pass
             return _MISSING
-        with self._lock:
-            self._disk_hits += 1
+        self._disk_hits.inc()
         return value
 
     def _disk_store(self, key: str, value) -> None:
@@ -158,8 +168,7 @@ class ArtifactCache:
             os.replace(tmp_path, path)
         except Exception:
             # Unpicklable artifact or unwritable disk: stay memory-only.
-            with self._lock:
-                self._disk_skipped += 1
+            self._disk_skipped.inc()
             try:
                 os.remove(tmp_path)
             except OSError:
@@ -206,14 +215,14 @@ class ArtifactCache:
         """
         with self._lock:
             if key in self._entries:
-                self._hits += 1
+                self._hits.inc()
                 self._entries.move_to_end(key)
                 return self._entries[key]
             key_lock = self._key_locks.setdefault(key, threading.Lock())
         with key_lock:
             with self._lock:
                 if key in self._entries:
-                    self._hits += 1
+                    self._hits.inc()
                     self._entries.move_to_end(key)
                     return self._entries[key]
             try:
@@ -225,9 +234,9 @@ class ArtifactCache:
                     value = factory()
                 with self._lock:
                     if loaded_from_disk:
-                        self._hits += 1
+                        self._hits.inc()
                     else:
-                        self._misses += 1
+                        self._misses.inc()
                     self._entries[key] = value
                     self._entries.move_to_end(key)
                     self._evict_locked()
@@ -243,12 +252,12 @@ class ArtifactCache:
     def record_hit(self, count: int = 1) -> None:
         """Count hits observed by callers using :meth:`get`/:meth:`contains`."""
         with self._lock:
-            self._hits += count
+            self._hits.inc(count)
 
     def record_miss(self, count: int = 1) -> None:
         """Count misses filled by callers using :meth:`put`."""
         with self._lock:
-            self._misses += count
+            self._misses.inc(count)
 
     def _evict_locked(self) -> None:
         if self.maxsize is not None:
@@ -263,11 +272,11 @@ class ArtifactCache:
     def stats(self) -> CacheStats:
         with self._lock:
             return CacheStats(
-                hits=self._hits,
-                misses=self._misses,
+                hits=self._hits.value,
+                misses=self._misses.value,
                 size=len(self._entries),
-                disk_hits=self._disk_hits,
-                disk_skipped=self._disk_skipped,
+                disk_hits=self._disk_hits.value,
+                disk_skipped=self._disk_skipped.value,
             )
 
     def __len__(self) -> int:

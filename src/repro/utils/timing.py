@@ -1,35 +1,12 @@
-"""Minimal wall-clock timing helper used by the experiment harness."""
+"""Backward-compatible alias of the unified telemetry Timer.
+
+The timing helper grew into :class:`repro.obs.timer.Timer` — re-entrant,
+nestable, usable as a decorator, and optionally feeding registry histograms
+and trace spans.  This module keeps the historical import path working.
+"""
 
 from __future__ import annotations
 
-import time
-from typing import Optional
+from repro.obs.timer import Timer
 
-
-class Timer:
-    """Context manager that records elapsed wall-clock time in seconds.
-
-    Example
-    -------
-    >>> with Timer() as t:
-    ...     _ = sum(range(1000))
-    >>> t.elapsed >= 0
-    True
-    """
-
-    def __init__(self, label: str = "") -> None:
-        self.label = label
-        self._start: Optional[float] = None
-        self.elapsed: float = 0.0
-
-    def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
-        return self
-
-    def __exit__(self, *exc_info) -> None:
-        if self._start is not None:
-            self.elapsed = time.perf_counter() - self._start
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        label = f"{self.label}: " if self.label else ""
-        return f"<Timer {label}{self.elapsed:.4f}s>"
+__all__ = ["Timer"]
