@@ -25,7 +25,8 @@ from repro.cluster.partition import PARTITION_STRATEGIES, partition_graph
 from repro.cluster.router import ShardRouter
 from repro.datasets import load_dataset
 from repro.obs.metrics import active_metrics, next_instance
-from repro.obs.slo import check_slo, format_slo
+from repro.obs.profile import format_top, global_profiler, set_profiling
+from repro.obs.slo import check_slo, format_slo, resolve_slo_histograms
 from repro.obs.snapshot import SnapshotEmitter
 from repro.obs.trace import set_tracing
 from repro.serve.batching import RequestBatcher
@@ -121,6 +122,10 @@ def cmd_serve(args) -> int:
         # Before router construction: worker processes inherit the flag
         # through WorkerInit.telemetry.
         set_tracing(True)
+    if args.profile:
+        # Likewise before router construction: WorkerInit.profile turns
+        # the kernel profiler on inside every shard process.
+        set_profiling(True)
     router = ShardRouter(
         model,
         session,
@@ -149,10 +154,12 @@ def cmd_serve(args) -> int:
     )
     emitter = (
         SnapshotEmitter(args.obs_path, interval=args.obs_interval)
-        if args.telemetry
+        if args.telemetry or args.profile
         else None
     )
-    if emitter is not None and args.obs_interval > 0:
+    if emitter is not None:
+        # start() registers the atexit flush even for interval=0 runs;
+        # the periodic thread only spins up when an interval was asked for.
         emitter.start()
     started = time.perf_counter()
     with router:
@@ -192,8 +199,17 @@ def cmd_serve(args) -> int:
         batcher.stop()
         elapsed = time.perf_counter() - started
         stats = router.stats()
+        # Cluster-wide views: shard workers ship histogram bucket states and
+        # kernel-profiler tables inside their stats snapshots; merging them
+        # into the router-side registry/profiler makes the final telemetry
+        # snapshot (and `repro.obs top`) span the whole cluster.
+        merged_histograms = stats.merged_histograms()
+        merged_profile = stats.merged_profile()
+        if merged_profile is not None:
+            global_profiler().merge_table(merged_profile.get("ops", {}))
+            global_profiler().merge_memory(merged_profile.get("memory", {}))
         if emitter is not None:
-            emitter.stop() if args.obs_interval > 0 else emitter.emit()
+            emitter.stop()
             print(f"telemetry: snapshots at {args.obs_path}")
         print(
             f"served {args.requests} requests in {elapsed:.3f}s "
@@ -204,6 +220,13 @@ def cmd_serve(args) -> int:
             print(
                 f"latency p50 {latency.quantile(0.50) * 1e3:.2f}ms  "
                 f"p99 {latency.quantile(0.99) * 1e3:.2f}ms"
+            )
+        compute = merged_histograms.get("worker.compute")
+        if compute is not None and compute.count:
+            print(
+                f"worker compute (all shards) "
+                f"p50 {compute.quantile(0.50) * 1e3:.2f}ms  "
+                f"p99 {compute.quantile(0.99) * 1e3:.2f}ms"
             )
         for shard in stats.shards:
             print(
@@ -241,8 +264,24 @@ def cmd_serve(args) -> int:
                 )
                 if not ok:
                     return 1
+    if args.profile:
+        print("profile (hottest kernels, all processes):")
+        print(
+            format_top(
+                global_profiler().table(),
+                global_profiler().memory_marks(),
+                limit=10,
+            )
+        )
     if args.slo is not None:
-        violations = check_slo(latency, args.slo)
+        violations = check_slo(
+            latency,
+            args.slo,
+            histograms={
+                **resolve_slo_histograms(args.slo),
+                **merged_histograms,
+            },
+        )
         if violations:
             for violation in violations:
                 print(f"SLO FAIL: {violation}")

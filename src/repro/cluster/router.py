@@ -50,6 +50,8 @@ from repro.cluster.worker import (
     ShardUpdate,
     WorkerInit,
 )
+from repro.obs.metrics import merge_histogram_states
+from repro.obs.profile import profiling_enabled
 from repro.obs.trace import NULL_SPAN
 from repro.obs.trace import span as obs_span
 from repro.obs.trace import tracing_enabled
@@ -115,6 +117,56 @@ class ClusterStats:
     @property
     def megabatch_nodes(self) -> int:
         return sum(shard["megabatch_nodes"] for shard in self.shards)
+
+    def merged_histograms(self) -> dict:
+        """Cluster-wide latency distributions: every shard's histogram
+        section merged by name into fresh :class:`Histogram` objects, so
+        p50/p99 are computed over the *union* of observations rather than
+        averaged per shard (quantiles do not average)."""
+        by_name: dict = {}
+        for shard in self.shards:
+            for name, state in (shard.histograms or {}).items():
+                by_name.setdefault(name, []).append(state)
+        return {
+            name: merge_histogram_states(states)
+            for name, states in by_name.items()
+        }
+
+    def merged_profile(self) -> Optional[dict]:
+        """Cluster-wide kernel-profiler aggregate: per-op tables summed,
+        memory high-water marks maxed across shards (``None`` when no shard
+        profiled anything)."""
+        ops: dict = {}
+        memory: dict = {}
+        seen = False
+        for shard in self.shards:
+            section = shard.profile
+            if not section:
+                continue
+            seen = True
+            for name, row in section.get("ops", {}).items():
+                into = ops.setdefault(
+                    name,
+                    {
+                        "calls": 0,
+                        "cum_s": 0.0,
+                        "self_s": 0.0,
+                        "flops": 0,
+                        "bytes": 0,
+                        "shapes": {},
+                    },
+                )
+                into["calls"] += int(row.get("calls", 0))
+                into["cum_s"] += float(row.get("cum_s", 0.0))
+                into["self_s"] += float(row.get("self_s", 0.0))
+                into["flops"] += int(row.get("flops", 0))
+                into["bytes"] += int(row.get("bytes", 0))
+                for sig, count in dict(row.get("shapes", {})).items():
+                    into["shapes"][sig] = into["shapes"].get(sig, 0) + int(count)
+            for name, nbytes in section.get("memory", {}).items():
+                if int(nbytes) > memory.get(name, -1):
+                    memory[name] = int(nbytes)
+        return {"ops": ops, "memory": memory} if seen else None
 
 
 def _rows_update(
@@ -198,6 +250,7 @@ class ShardRouter:
                 backend=backend,
                 base_version=session.version,
                 telemetry=tracing_enabled(),
+                profile=profiling_enabled(),
             )
             if model_ref is not None:
                 init.registry_root, init.model_name, init.model_version = model_ref

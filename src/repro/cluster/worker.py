@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.cluster.partition import ShardPartition
 from repro.obs.metrics import active_metrics, next_instance
+from repro.obs.profile import active_profiler, set_profiling
 from repro.obs.trace import adopt, get_tracer, set_tracing
 from repro.obs.trace import span as obs_span
 from repro.serve.engine import InferenceEngine, ServeConfig
@@ -62,11 +63,18 @@ class ClusterWorkerError(RuntimeError):
     """A shard worker rejected a command (re-raised router-side)."""
 
 
-SHARD_STATS_SCHEMA_VERSION = 1
+SHARD_STATS_SCHEMA_VERSION = 2
 """Bump on every field change of :class:`ShardStatsSnapshot`.  The router
 validates the version of every snapshot it aggregates, so a worker running
 an older schema (stale child re-used across a deploy, renamed counter) fails
-loudly instead of silently contributing zeros to cluster totals."""
+loudly instead of silently contributing zeros to cluster totals.
+
+v2 added the optional ``histograms`` (per-shard latency distributions as
+``Histogram.state()`` dicts, merged router-side into cluster-wide p50/p99)
+and ``profile`` (kernel-profiler aggregate table) sections."""
+
+_OPTIONAL_SECTIONS = ("histograms", "profile")
+"""Snapshot fields that are dicts-or-``None`` instead of int counters."""
 
 
 @dataclass(frozen=True)
@@ -95,6 +103,8 @@ class ShardStatsSnapshot:
     plan_fallbacks: int
     megabatches: int
     megabatch_nodes: int
+    histograms: Optional[dict] = None
+    profile: Optional[dict] = None
 
     def __getitem__(self, key: str):
         try:
@@ -120,10 +130,18 @@ class ShardStatsSnapshot:
                 f"v{SHARD_STATS_SCHEMA_VERSION}"
             )
         for f in fields(self):
-            if not isinstance(getattr(self, f.name), int):
+            value = getattr(self, f.name)
+            if f.name in _OPTIONAL_SECTIONS:
+                if value is not None and not isinstance(value, dict):
+                    raise ClusterWorkerError(
+                        f"shard stats section {f.name!r} must be a dict "
+                        f"or None: {value!r}"
+                    )
+                continue
+            if not isinstance(value, int):
                 raise ClusterWorkerError(
                     f"shard stats field {f.name!r} is not an int: "
-                    f"{getattr(self, f.name)!r}"
+                    f"{value!r}"
                 )
         return self
 
@@ -178,6 +196,10 @@ class WorkerInit:
     """Captured from :func:`repro.obs.trace.tracing_enabled` at router
     construction: a child process does not inherit the parent's contextvars,
     so the flag travels with the init payload."""
+    profile: bool = False
+    """Captured from :func:`repro.obs.profile.profiling_enabled` at router
+    construction, for the same reason — kernel profiling must be switched on
+    inside the child process itself."""
 
 
 def _load_model(init: WorkerInit):
@@ -212,11 +234,18 @@ class ShardWorker:
             initial_version=init.base_version,
         )
         self.engine = InferenceEngine(self.model, self.session, init.config)
+        instance = next_instance()
         self._requests = active_metrics().counter(
             "cluster.shard.requests",
             component="shard_worker",
             shard=self.shard_id,
-            instance=next_instance(),
+            instance=instance,
+        )
+        self._compute = active_metrics().histogram(
+            "worker.compute",
+            component="shard_worker",
+            shard=self.shard_id,
+            instance=instance,
         )
 
     # ------------------------------------------------------------------ #
@@ -231,7 +260,11 @@ class ShardWorker:
                 f"shard {self.shard_id} does not own nodes {stray[:8].tolist()}"
             )
         self._requests.inc(int(nodes.size))
-        return self.engine.predict_logits(nodes)
+        t0 = time.perf_counter()
+        try:
+            return self.engine.predict_logits(nodes)
+        finally:
+            self._compute.observe(time.perf_counter() - t0)
 
     def apply(self, update: ShardUpdate) -> int:
         """Install one mutation's payload; returns the new session version."""
@@ -274,9 +307,24 @@ class ShardWorker:
         return session.version
 
     def stats(self) -> ShardStatsSnapshot:
-        """Cache + throughput + fused-plan counters of this replica."""
+        """Cache + throughput + fused-plan counters of this replica.
+
+        The v2 optional sections ride along: the worker's compute-latency
+        distribution (always — the histogram is always observed) and, when
+        profiling is on, the kernel-profiler aggregate table and memory
+        high-water marks, so the router can assemble cluster-wide views.
+        """
         cache = self.engine.cache_stats
         owned = int(np.count_nonzero(self._owned_mask))
+        profiler = active_profiler()
+        profile_section = None
+        if profiler is not None:
+            table = profiler.table()
+            if table or profiler.memory_marks():
+                profile_section = {
+                    "ops": table,
+                    "memory": profiler.memory_marks(),
+                }
         return ShardStatsSnapshot(
             schema=SHARD_STATS_SCHEMA_VERSION,
             shard_id=self.shard_id,
@@ -293,6 +341,8 @@ class ShardWorker:
             plan_fallbacks=0 if cache is None else cache.plan_fallbacks,
             megabatches=0 if cache is None else cache.megabatches,
             megabatch_nodes=0 if cache is None else cache.megabatch_nodes,
+            histograms={"worker.compute": self._compute.state()},
+            profile=profile_section,
         )
 
     def handle(self, command: str, payload) -> object:
@@ -353,6 +403,8 @@ def _worker_main(
 
     if init.telemetry:
         set_tracing(True)
+    if init.profile:
+        set_profiling(True)
     scope = use_backend(init.backend) if init.backend else nullcontext()
     with scope:
         try:

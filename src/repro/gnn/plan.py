@@ -50,6 +50,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.gnn.sampling import SampledBlock, block_propagation
+from repro.obs.profile import active_profiler
 from repro.obs.trace import span as obs_span
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.ops import block_diag_csr
@@ -341,6 +342,7 @@ class BufferPool:
 
     def __init__(self) -> None:
         self._buffers: Dict[Tuple[int, int], np.ndarray] = {}
+        self._nbytes = 0
 
     def take(self, rows: int, cols: int) -> Optional[np.ndarray]:
         if rows <= 0 or cols <= 0:
@@ -350,7 +352,16 @@ class BufferPool:
         if buffer is None:
             buffer = np.empty((bucket, cols), dtype=np.float64)
             self._buffers[(bucket, cols)] = buffer
+            self._nbytes += buffer.nbytes
+            profiler = active_profiler()
+            if profiler is not None:
+                profiler.memory("plan.buffer_pool", self._nbytes)
         return buffer[:rows]
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes resident across all pooled buffers."""
+        return self._nbytes
 
     def __len__(self) -> int:
         return len(self._buffers)
@@ -415,7 +426,12 @@ class InferencePlan:
         x = np.take(
             np.asarray(features, dtype=np.float64), packed.src_gather, axis=0
         )
+        profiler = active_profiler()
+        frame = x_in = None
         for op, payload in self.ops:
+            if profiler is not None:
+                frame = profiler.begin()
+                x_in = x
             if op == "matmul":
                 out = (
                     pool.take(x.shape[0], payload.shape[1])
@@ -459,6 +475,18 @@ class InferencePlan:
                     x = np.add(x, bias, out=x)
             else:  # pragma: no cover - recorder emits only the kinds above
                 raise ValueError(f"unknown plan op {op!r}")
+            if profiler is not None:
+                if op == "matmul":
+                    est_args = (x_in, payload)
+                elif op in ("prop", "sage"):
+                    # CSR propagation fires the nested spmm hook, which
+                    # already carries the flops — don't double count.
+                    index = payload if op == "prop" else payload[0]
+                    matrix = packed.layers[index].matrix
+                    est_args = () if isinstance(matrix, CSRMatrix) else (matrix, x_in)
+                else:
+                    est_args = (x_in,)
+                profiler.end(frame, "plan." + op, est_args, x)
         return x
 
 

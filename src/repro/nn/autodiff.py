@@ -131,6 +131,7 @@ STATS = GraphStats()
 # node / fired VJP) stays a lock-free slots object, but `repro.obs`
 # snapshots and the CLI still see it alongside every other metric.
 from repro.obs.metrics import register_collector as _register_collector
+from repro.obs.profile import active_profiler as _active_profiler
 
 _register_collector("autodiff.tape", STATS.snapshot)
 
@@ -371,6 +372,13 @@ def backward(root, seed: np.ndarray) -> None:
     contributions are summed.
     """
     order = _toposort(root)
+    profiler = _active_profiler()
+    if profiler is not None:
+        # Resident tape bytes for this graph: one pass over the toposort.
+        profiler.memory(
+            "autodiff.tape.resident",
+            sum(t.data.nbytes for t in order),
+        )
     accumulators: Dict[int, _Accumulator] = {}
 
     def accumulator_for(tensor) -> _Accumulator:
@@ -391,7 +399,21 @@ def backward(root, seed: np.ndarray) -> None:
         g = acc.dense_value(tensor.data.shape)
         for argnum, parent in node.parents:
             STATS.vjp_calls += 1
-            contribution = node.prim.vjp(argnum, g, tensor.data, node.args, node.kwargs)
+            if profiler is None:
+                contribution = node.prim.vjp(
+                    argnum, g, tensor.data, node.args, node.kwargs
+                )
+            else:
+                frame = profiler.begin()
+                contribution = None
+                try:
+                    contribution = node.prim.vjp(
+                        argnum, g, tensor.data, node.args, node.kwargs
+                    )
+                finally:
+                    profiler.end(
+                        frame, "vjp." + node.prim.name, node.args, contribution
+                    )
             parent_acc = accumulator_for(parent)
             if isinstance(contribution, SparseGrad):
                 parent_acc.add_sparse(contribution)
@@ -408,3 +430,6 @@ def backward(root, seed: np.ndarray) -> None:
             tensor.grad = dense
         else:
             tensor.grad = tensor.grad + dense
+
+    if profiler is not None:
+        profiler.tape_reset()

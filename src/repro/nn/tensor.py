@@ -32,6 +32,7 @@ from repro.nn.autodiff import (
     primitive,
     unbroadcast,
 )
+from repro.obs.profile import active_profiler
 
 __all__ = [
     "Tensor",
@@ -277,7 +278,17 @@ def apply_primitive(prim, *args, **kwargs) -> Tensor:
     graph presence whatsoever.
     """
     raw = tuple(a.data if isinstance(a, Tensor) else a for a in args)
-    out = Tensor(prim.fn(*raw, **kwargs))
+    profiler = active_profiler()
+    if profiler is None:
+        data = prim.fn(*raw, **kwargs)
+    else:
+        frame = profiler.begin()
+        data = None
+        try:
+            data = prim.fn(*raw, **kwargs)
+        finally:
+            profiler.end(frame, "nn." + prim.name, raw, data)
+    out = Tensor(data)
     if is_grad_enabled():
         parents = tuple(
             (argnum, arg)
@@ -287,6 +298,8 @@ def apply_primitive(prim, *args, **kwargs) -> Tensor:
         if parents:
             out.requires_grad = True
             out._node = Node(prim, raw, kwargs, parents)
+            if profiler is not None:
+                profiler.tape_alloc(out.data.nbytes)
     return out
 
 

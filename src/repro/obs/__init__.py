@@ -39,6 +39,18 @@ from repro.obs.snapshot import (
     latest_snapshot,
     read_snapshots,
 )
+from repro.obs.chrome import collect_traces, spans_to_chrome, write_chrome_trace
+from repro.obs.profile import (
+    KernelProfiler,
+    active_profiler,
+    estimate_flops_bytes,
+    format_top,
+    global_profiler,
+    profiling_enabled,
+    set_profiling,
+    use_profiler,
+    use_profiling,
+)
 from repro.obs.slo import check_slo, format_slo, parse_slo
 from repro.obs.timer import Timer
 from repro.obs.trace import (
@@ -73,6 +85,18 @@ __all__ = [
     "check_slo",
     "format_slo",
     "parse_slo",
+    "KernelProfiler",
+    "active_profiler",
+    "estimate_flops_bytes",
+    "format_top",
+    "global_profiler",
+    "profiling_enabled",
+    "set_profiling",
+    "use_profiler",
+    "use_profiling",
+    "collect_traces",
+    "spans_to_chrome",
+    "write_chrome_trace",
     "Timer",
     "Span",
     "SpanContext",

@@ -15,6 +15,15 @@ Render one request's stitched cross-process trace tree::
     python -m repro.obs trace 1a2b-3f --path results/obs/telemetry.jsonl
     python -m repro.obs trace --last
     python -m repro.obs trace --best
+
+Rank the hottest kernels recorded by the profiler (``--profile`` runs)::
+
+    python -m repro.obs top --limit 15
+
+Export every stitched timeline as a Chrome trace (load in
+``chrome://tracing`` or https://ui.perfetto.dev)::
+
+    python -m repro.obs export --chrome --out results/obs/timeline.json
 """
 
 from __future__ import annotations
@@ -24,6 +33,8 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro.obs.chrome import collect_traces, write_chrome_trace
+from repro.obs.profile import format_top
 from repro.obs.snapshot import (
     DEFAULT_SNAPSHOT_PATH,
     latest_snapshot,
@@ -71,6 +82,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--best",
         action="store_true",
         help="render the trace with the most spans (the richest request)",
+    )
+
+    top = commands.add_parser(
+        "top", parents=[common], help="hottest kernels from the profiler"
+    )
+    top.add_argument("--limit", type=int, default=20)
+
+    export = commands.add_parser(
+        "export", parents=[common], help="export stitched traces"
+    )
+    export.add_argument(
+        "--chrome",
+        action="store_true",
+        help="catapult JSON for chrome://tracing / Perfetto (the only format)",
+    )
+    export.add_argument("--out", default="results/obs/timeline.json")
+    export.add_argument(
+        "--trace", dest="trace_id", default=None, help="restrict to one trace id"
     )
     return parser
 
@@ -171,6 +200,39 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_top(args) -> int:
+    snapshot = latest_snapshot(args.path)
+    profile = (
+        snapshot.get("metrics", {}).get("collectors", {}).get("profile.kernels", {})
+    )
+    ops = profile.get("ops", {})
+    if not ops:
+        print("no kernel samples recorded (was profiling enabled? --profile)")
+        return 1
+    stamp = time.strftime("%H:%M:%S", time.localtime(snapshot.get("time", 0)))
+    print(f"hottest kernels @ {stamp} (pid {snapshot.get('pid', '?')})")
+    print(format_top(ops, profile.get("memory") or None, limit=args.limit))
+    return 0
+
+
+def cmd_export(args) -> int:
+    traces = collect_traces(read_snapshots(args.path))
+    if not traces:
+        print("no traces recorded (was tracing enabled? --telemetry)")
+        return 1
+    trace_id = args.trace_id
+    if trace_id is not None and trace_id not in traces:
+        prefixed = [tid for tid in traces if tid.startswith(trace_id)]
+        if len(prefixed) != 1:
+            print(f"unknown trace {trace_id!r}; known: {', '.join(traces)}")
+            return 1
+        trace_id = prefixed[0]
+    count = write_chrome_trace(args.out, traces, trace_id)
+    scope = trace_id if trace_id else f"{len(traces)} traces"
+    print(f"wrote {count} chrome-trace events ({scope}) to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -178,6 +240,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return cmd_dump(args)
         if args.command == "watch":
             return cmd_watch(args)
+        if args.command == "top":
+            return cmd_top(args)
+        if args.command == "export":
+            return cmd_export(args)
         return cmd_trace(args)
     except (FileNotFoundError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -33,7 +33,7 @@ import itertools
 import math
 import threading
 from bisect import bisect_right
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 __all__ = [
     "Counter",
@@ -44,6 +44,7 @@ __all__ = [
     "global_metrics",
     "use_metrics",
     "register_collector",
+    "merge_histogram_states",
     "next_instance",
 ]
 
@@ -161,6 +162,9 @@ class Histogram:
         "name",
         "labels",
         "bounds",
+        "lo",
+        "hi",
+        "per_decade",
         "_counts",
         "_count",
         "_sum",
@@ -180,6 +184,9 @@ class Histogram:
     ) -> None:
         self.name = name
         self.labels = labels
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.per_decade = int(per_decade)
         self.bounds = log_bucket_bounds(lo, hi, per_decade)
         self._counts = [0] * (len(self.bounds) + 1)
         self._count = 0
@@ -271,11 +278,105 @@ class Histogram:
             "buckets": populated,
         }
 
+    # ------------------------------------------------------------------ #
+    # Serialisable state & cross-process merging
+    # ------------------------------------------------------------------ #
+    def state(self) -> Dict[str, object]:
+        """Complete JSON-serialisable state: bucket config + sparse counts.
+
+        Unlike :meth:`snapshot` (a human-facing summary), this carries the
+        exact bucket indices so a receiving process can fold the
+        distribution into its own histogram with :meth:`merge` — the wire
+        format behind router-side cluster-wide p50/p99.
+        """
+        with self._lock:
+            counts = [[i, c] for i, c in enumerate(self._counts) if c]
+            return {
+                "name": self.name,
+                "lo": self.lo,
+                "hi": self.hi,
+                "per_decade": self.per_decade,
+                "counts": counts,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min if self._count else None,
+                "max": self._max if self._count else None,
+            }
+
+    @classmethod
+    def from_state(
+        cls, state: Dict[str, object], labels: Tuple[Tuple[str, str], ...] = ()
+    ) -> "Histogram":
+        """Reconstruct a histogram from :meth:`state` output."""
+        hist = cls(
+            str(state.get("name", "histogram")),
+            labels,
+            lo=float(state["lo"]),
+            hi=float(state["hi"]),
+            per_decade=int(state["per_decade"]),
+        )
+        hist.merge(state)
+        return hist
+
+    def merge(self, other: object) -> "Histogram":
+        """Fold another histogram (or its :meth:`state` dict) into this one.
+
+        Bucket configurations must match exactly — merging across different
+        resolutions would silently corrupt quantiles, so it fails loudly.
+        """
+        state = other.state() if isinstance(other, Histogram) else dict(other)
+        config = (
+            float(state["lo"]),
+            float(state["hi"]),
+            int(state["per_decade"]),
+        )
+        if config != (self.lo, self.hi, self.per_decade):
+            raise ValueError(
+                f"histogram bucket mismatch: {config} != "
+                f"{(self.lo, self.hi, self.per_decade)}"
+            )
+        count = int(state.get("count", 0))
+        if not count:
+            return self
+        with self._lock:
+            for idx, bucket_count in state.get("counts", []):
+                idx = int(idx)
+                if not 0 <= idx < len(self._counts):
+                    raise ValueError(f"bucket index {idx} out of range")
+                self._counts[idx] += int(bucket_count)
+            self._count += count
+            self._sum += float(state.get("sum", 0.0))
+            other_min = state.get("min")
+            other_max = state.get("max")
+            if other_min is not None and float(other_min) < self._min:
+                self._min = float(other_min)
+            if other_max is not None and float(other_max) > self._max:
+                self._max = float(other_max)
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Histogram {_qualified(self.name, self.labels)} "
             f"n={self._count} p50={self.quantile(0.5):.3g}>"
         )
+
+
+def merge_histogram_states(states: Iterable) -> Optional[Histogram]:
+    """Merge histograms/state-dicts into one fresh :class:`Histogram`.
+
+    Returns ``None`` for an empty input.  This is the router-side
+    aggregation primitive: each shard ships ``Histogram.state()`` dicts in
+    its stats snapshot and the cluster-wide distribution falls out here.
+    """
+    merged: Optional[Histogram] = None
+    for state in states:
+        if isinstance(state, Histogram):
+            state = state.state()
+        if merged is None:
+            merged = Histogram.from_state(state)
+        else:
+            merged.merge(state)
+    return merged
 
 
 # ---------------------------------------------------------------------- #

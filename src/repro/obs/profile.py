@@ -1,0 +1,472 @@
+"""Op-level kernel profiler: wall time, flops/bytes, memory high-water marks.
+
+PR 9's spans bottom out at coarse stages (``engine.predict``,
+``plan.replay``); this module descends one level further, to the *kernels*
+those stages dispatch.  It hooks the three choke points the codebase already
+funnels every FLOP through:
+
+* ``apply_primitive`` in :mod:`repro.nn.tensor` — every dense forward op and
+  (via the backward engine's VJP fire) every gradient op;
+* ``CSRMatrix.matmul_dense`` in :mod:`repro.sparse.csr` — the spmm/spmv
+  kernels, whichever layer calls them;
+* each fused op replayed by :class:`repro.gnn.plan.InferencePlan`.
+
+Per kernel it records call counts, cumulative and *self* wall time (child
+kernel time is subtracted through a per-thread frame stack, so ``plan.prop``
+does not double-count the ``spmm`` it contains), operand shapes, and
+roofline-style flop/byte estimates from the registered per-primitive
+estimators.  Allocation high-water marks (autodiff tape, plan
+``BufferPool``) flow into the active :class:`~repro.obs.metrics
+.MetricsRegistry` as ``profile.mem.*`` gauges, and the aggregate table is
+exposed as the ``profile.kernels`` snapshot collector.
+
+When request tracing is also enabled, every kernel invocation under an open
+span additionally records a ``kernel.<name>`` span into the tracer — so the
+existing cross-process shipping (worker replies carry drained spans) gives
+one request → batcher → shard → kernel timeline for free, exportable as a
+Chrome trace via :mod:`repro.obs.chrome`.
+
+The disabled path is a single ContextVar read returning ``None`` — the same
+budget discipline as :func:`repro.obs.trace.span`, pinned by
+``benchmarks/test_obs_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import threading
+import time
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import trace as _trace
+from repro.obs.metrics import active_metrics, register_collector
+
+__all__ = [
+    "KernelProfiler",
+    "active_profiler",
+    "global_profiler",
+    "profiling_enabled",
+    "set_profiling",
+    "use_profiling",
+    "use_profiler",
+    "estimate_flops_bytes",
+    "register_estimator",
+    "format_top",
+]
+
+_ENV_FLAG = os.environ.get("REPRO_PROFILE", "").strip().lower()
+
+# Mirrors repro.obs.trace: a module-global default (visible to background
+# threads and freshly spawned contexts) plus a context-local override.
+_DEFAULT_ENABLED = _ENV_FLAG in ("1", "true", "on", "yes")
+
+_ENABLED: contextvars.ContextVar[Optional[bool]] = contextvars.ContextVar(
+    "repro_profiling_override", default=None
+)
+
+_ACTIVE: contextvars.ContextVar[Optional["KernelProfiler"]] = contextvars.ContextVar(
+    "repro_profiler", default=None
+)
+
+
+def profiling_enabled() -> bool:
+    """Whether kernel profiling is on in the current context."""
+    override = _ENABLED.get()
+    return _DEFAULT_ENABLED if override is None else override
+
+
+def set_profiling(enabled: bool) -> None:
+    """Turn kernel profiling on/off process-wide (CLI ``--profile``)."""
+    global _DEFAULT_ENABLED
+    _DEFAULT_ENABLED = bool(enabled)
+
+
+@contextlib.contextmanager
+def use_profiling(enabled: bool) -> Iterator[None]:
+    """Scope profiling on/off (tests, benchmark legs)."""
+    token = _ENABLED.set(bool(enabled))
+    try:
+        yield
+    finally:
+        _ENABLED.reset(token)
+
+
+@contextlib.contextmanager
+def use_profiler(profiler: Optional["KernelProfiler"]) -> Iterator["KernelProfiler"]:
+    """Scope a profiler instance *and* enable profiling (test isolation)."""
+    token = _ACTIVE.set(profiler)
+    flag = _ENABLED.set(True)
+    try:
+        yield profiler or _GLOBAL
+    finally:
+        _ENABLED.reset(flag)
+        _ACTIVE.reset(token)
+
+
+def active_profiler() -> Optional["KernelProfiler"]:
+    """THE hot-path gate: ``None`` when profiling is off.
+
+    Hook sites call this once, branch on ``None``, and only then pay for
+    frames/estimators — so the disabled cost is one ContextVar read plus a
+    comparison, identical in shape to the span fast path.
+    """
+    override = _ENABLED.get()
+    if not (_DEFAULT_ENABLED if override is None else override):
+        return None
+    return _ACTIVE.get() or _GLOBAL
+
+
+def global_profiler() -> "KernelProfiler":
+    """The process-global profiler (aggregation target for CLI runs)."""
+    return _GLOBAL
+
+
+# ---------------------------------------------------------------------- #
+# Roofline-style flop/byte estimators, keyed by canonical kernel name
+# ---------------------------------------------------------------------- #
+def _nbytes(value) -> int:
+    nb = getattr(value, "nbytes", None)
+    return int(nb) if nb is not None else 0
+
+
+def _shape_of(value) -> Optional[Tuple[int, ...]]:
+    shape = getattr(value, "shape", None)
+    if shape is None:
+        return None
+    return tuple(int(s) for s in shape)
+
+
+def _est_matmul(args, out) -> Tuple[int, int]:
+    a, b = args[0], args[1]
+    a_shape, b_shape = _shape_of(a), _shape_of(b)
+    if not a_shape or not b_shape:
+        return 0, _nbytes(out)
+    m = a_shape[-2] if len(a_shape) >= 2 else 1
+    k = a_shape[-1]
+    n = b_shape[-1] if len(b_shape) >= 2 else 1
+    batch = 1
+    for dim in a_shape[:-2]:
+        batch *= dim
+    flops = 2 * batch * m * k * n
+    return flops, _nbytes(a) + _nbytes(b) + _nbytes(out)
+
+
+def _est_spmm(args, out) -> Tuple[int, int]:
+    matrix, x = args[0], args[1]
+    nnz = int(getattr(matrix, "nnz", 0))
+    x_shape = _shape_of(x) or ()
+    cols = x_shape[1] if len(x_shape) >= 2 else 1
+    flops = 2 * nnz * cols
+    itemsize = int(getattr(x, "itemsize", 8))
+    operator_bytes = (
+        int(matrix.memory_bytes()) if hasattr(matrix, "memory_bytes") else 0
+    )
+    # operator storage + one gathered row of x per stored entry + the output
+    moved = operator_bytes + nnz * cols * itemsize + _nbytes(out)
+    return flops, moved
+
+
+def _est_elementwise(args, out) -> Tuple[int, int]:
+    size = int(getattr(out, "size", 0) or 0)
+    moved = sum(_nbytes(a) for a in args) + _nbytes(out)
+    return size, moved
+
+
+def _est_free(args, out) -> Tuple[int, int]:
+    # Views / reshapes: no arithmetic, only (at worst) a copy of the output.
+    return 0, _nbytes(out)
+
+
+_ESTIMATORS: Dict[str, Callable[[tuple, object], Tuple[int, int]]] = {
+    "matmul": _est_matmul,
+    "spmm": _est_spmm,
+    "spmv": _est_spmm,
+    "prop": _est_spmm,
+    "transpose": _est_free,
+    "reshape": _est_free,
+}
+
+
+def register_estimator(
+    name: str, estimator: Callable[[tuple, object], Tuple[int, int]]
+) -> None:
+    """Register/replace the flop-byte estimator for a canonical kernel."""
+    _ESTIMATORS[name] = estimator
+
+
+def _canonical(name: str) -> str:
+    """Strip the dispatch-layer prefix: ``nn.matmul``/``vjp.matmul`` and the
+    plan's ``plan.matmul`` all share the matmul cost model."""
+    if "." in name:
+        return name.rsplit(".", 1)[1]
+    return name
+
+
+def estimate_flops_bytes(name: str, args: tuple, out) -> Tuple[int, int]:
+    """Roofline estimate ``(flops, bytes_moved)`` for one kernel call."""
+    estimator = _ESTIMATORS.get(_canonical(name), _est_elementwise)
+    try:
+        return estimator(args, out)
+    except Exception:  # pragma: no cover - estimators must never break dispatch
+        return 0, 0
+
+
+# ---------------------------------------------------------------------- #
+# Profiler
+# ---------------------------------------------------------------------- #
+class _Frame:
+    """Open kernel invocation on the per-thread stack."""
+
+    __slots__ = ("t0", "start", "child")
+
+    def __init__(self) -> None:
+        self.t0 = time.perf_counter()
+        self.start = time.time()
+        self.child = 0.0
+
+
+class _OpStat:
+    __slots__ = ("calls", "cum_s", "self_s", "flops", "bytes", "shapes")
+
+    def __init__(self) -> None:
+        self.calls = 0
+        self.cum_s = 0.0
+        self.self_s = 0.0
+        self.flops = 0
+        self.bytes = 0
+        self.shapes: Dict[str, int] = {}
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "calls": self.calls,
+            "cum_s": self.cum_s,
+            "self_s": self.self_s,
+            "flops": self.flops,
+            "bytes": self.bytes,
+            "shapes": dict(self.shapes),
+        }
+
+
+_MAX_SHAPE_SIGS = 8
+
+
+class KernelProfiler:
+    """Aggregating op-level profiler with a per-thread frame stack.
+
+    ``begin()``/``end()`` bracket one kernel call; nesting is tracked so
+    self-time excludes child kernels.  Thread-safe: the aggregate table is
+    lock-guarded, the frame stack is thread-local.
+    """
+
+    def __init__(self, name: str = "profile") -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._ops: Dict[str, _OpStat] = {}
+        self._mem: Dict[str, int] = {}
+        self._tape_bytes = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Hot path
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[_Frame]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def begin(self) -> _Frame:
+        frame = _Frame()
+        self._stack().append(frame)
+        return frame
+
+    def end(self, frame: _Frame, name: str, args: tuple = (), out=None) -> None:
+        duration = time.perf_counter() - frame.t0
+        stack = self._stack()
+        if stack and stack[-1] is frame:
+            stack.pop()
+        if stack:
+            stack[-1].child += duration
+        self_s = duration - frame.child
+        if self_s < 0.0:
+            self_s = 0.0
+        flops, moved = estimate_flops_bytes(name, args, out)
+        sig = ",".join(
+            "x".join(str(d) for d in s)
+            for s in (_shape_of(a) for a in args)
+            if s is not None
+        )
+        with self._lock:
+            stat = self._ops.get(name)
+            if stat is None:
+                stat = self._ops[name] = _OpStat()
+            stat.calls += 1
+            stat.cum_s += duration
+            stat.self_s += self_s
+            stat.flops += flops
+            stat.bytes += moved
+            if sig and (sig in stat.shapes or len(stat.shapes) < _MAX_SHAPE_SIGS):
+                stat.shapes[sig] = stat.shapes.get(sig, 0) + 1
+        self._emit_event(name, frame.start, duration, sig, flops, moved)
+
+    def _emit_event(
+        self, name: str, start: float, duration: float, sig: str, flops: int, moved: int
+    ) -> None:
+        """Record a ``kernel.<name>`` span under the current request span.
+
+        Only fires when tracing is on *and* a span is open — kernel events
+        exist to deepen request timelines, not to flood the tracer during
+        untraced training loops.  They ride the existing worker-reply span
+        shipping, so cross-process stitching needs no new plumbing.
+        """
+        if not _trace.tracing_enabled():
+            return
+        current = _trace._CURRENT.get()
+        if current is None:
+            return
+        _trace.get_tracer()._record(
+            {
+                "trace": current[0],
+                "span": _trace._new_id(),
+                "parent": current[1],
+                "name": f"kernel.{name}",
+                "pid": os.getpid(),
+                "start": start,
+                "duration": duration,
+                "attrs": {"shapes": sig, "flops": flops, "bytes": moved},
+            }
+        )
+
+    @contextlib.contextmanager
+    def kernel(self, name: str, args: tuple = ()) -> Iterator[None]:
+        """Context-manager form for call sites that are not dispatch-hot."""
+        frame = self.begin()
+        try:
+            yield
+        finally:
+            self.end(frame, name, args)
+
+    # ------------------------------------------------------------------ #
+    # Memory high-water marks
+    # ------------------------------------------------------------------ #
+    def memory(self, name: str, nbytes: int) -> None:
+        """Record an allocation high-water mark (monotonic per name)."""
+        nbytes = int(nbytes)
+        with self._lock:
+            if nbytes <= self._mem.get(name, -1):
+                return
+            self._mem[name] = nbytes
+        try:
+            active_metrics().gauge(f"profile.mem.{name}", component="profile").set(
+                nbytes
+            )
+        except Exception:  # pragma: no cover - metrics must not break compute
+            pass
+
+    def tape_alloc(self, nbytes: int) -> None:
+        """One graph node recorded ``nbytes`` of output on the live tape."""
+        with self._lock:
+            self._tape_bytes += int(nbytes)
+            current = self._tape_bytes
+        self.memory("autodiff.tape", current)
+
+    def tape_reset(self) -> None:
+        """The live tape was consumed (backward ran); restart the meter."""
+        with self._lock:
+            self._tape_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Export / aggregation
+    # ------------------------------------------------------------------ #
+    def table(self) -> Dict[str, Dict[str, object]]:
+        """Aggregate per-kernel rows (JSON-serialisable)."""
+        with self._lock:
+            return {name: stat.row() for name, stat in self._ops.items()}
+
+    def memory_marks(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._mem)
+
+    def merge_table(self, rows: Dict[str, Dict[str, object]]) -> None:
+        """Fold another process's aggregate table into this one
+        (cluster CLI merges worker tables shipped via shard stats)."""
+        with self._lock:
+            for name, row in rows.items():
+                stat = self._ops.get(name)
+                if stat is None:
+                    stat = self._ops[name] = _OpStat()
+                stat.calls += int(row.get("calls", 0))
+                stat.cum_s += float(row.get("cum_s", 0.0))
+                stat.self_s += float(row.get("self_s", 0.0))
+                stat.flops += int(row.get("flops", 0))
+                stat.bytes += int(row.get("bytes", 0))
+                for sig, count in dict(row.get("shapes", {})).items():
+                    if sig in stat.shapes or len(stat.shapes) < _MAX_SHAPE_SIGS:
+                        stat.shapes[sig] = stat.shapes.get(sig, 0) + int(count)
+
+    def merge_memory(self, marks: Dict[str, int]) -> None:
+        for name, nbytes in dict(marks).items():
+            self.memory(name, nbytes)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Collector payload for metric snapshots."""
+        return {
+            "enabled": profiling_enabled(),
+            "ops": self.table(),
+            "memory": self.memory_marks(),
+        }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._ops.clear()
+            self._mem.clear()
+            self._tape_bytes = 0
+
+
+_GLOBAL = KernelProfiler("global")
+
+# The snapshot collector reflects whichever profiler is active in the
+# emitting context (scoped in tests, the process-global one in CLI runs).
+register_collector(
+    "profile.kernels", lambda: (_ACTIVE.get() or _GLOBAL).snapshot()
+)
+
+
+# ---------------------------------------------------------------------- #
+# Rendering (repro.obs top)
+# ---------------------------------------------------------------------- #
+def format_top(
+    ops: Dict[str, Dict[str, object]],
+    memory: Optional[Dict[str, int]] = None,
+    limit: int = 20,
+) -> str:
+    """Hottest-ops table: self/cumulative time, call counts, flop rate."""
+    if not ops:
+        return "(no kernel samples — run with --profile)"
+    rows = sorted(ops.items(), key=lambda kv: kv[1].get("self_s", 0.0), reverse=True)
+    total_self = sum(float(r.get("self_s", 0.0)) for _, r in rows) or 1.0
+    lines = [
+        f"{'kernel':<18} {'calls':>8} {'self(ms)':>10} {'cum(ms)':>10} "
+        f"{'self%':>6} {'GFLOP/s':>8} {'GB/s':>8}"
+    ]
+    for name, row in rows[: max(1, limit)]:
+        self_s = float(row.get("self_s", 0.0))
+        cum_s = float(row.get("cum_s", 0.0))
+        flops = float(row.get("flops", 0))
+        moved = float(row.get("bytes", 0))
+        rate = flops / self_s / 1e9 if self_s > 0 else 0.0
+        bw = moved / self_s / 1e9 if self_s > 0 else 0.0
+        lines.append(
+            f"{name:<18} {int(row.get('calls', 0)):>8} {self_s * 1e3:>10.3f} "
+            f"{cum_s * 1e3:>10.3f} {100 * self_s / total_self:>5.1f}% "
+            f"{rate:>8.2f} {bw:>8.2f}"
+        )
+    if memory:
+        lines.append("memory high-water marks:")
+        for name in sorted(memory):
+            mb = memory[name] / 1e6
+            lines.append(f"  {name:<28} {mb:>10.3f} MB")
+    return "\n".join(lines)

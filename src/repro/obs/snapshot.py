@@ -9,6 +9,7 @@ them back for ``dump`` / ``watch`` / ``trace``.
 
 from __future__ import annotations
 
+import atexit
 import json
 import os
 import threading
@@ -51,6 +52,11 @@ class SnapshotEmitter:
     seconds between :meth:`start` and :meth:`stop`; :meth:`stop` (and the
     context-manager exit) always emits one final snapshot, so even a short
     run leaves a complete record behind.
+
+    :meth:`start` also registers an ``atexit`` final emit: a CLI run that
+    crashes (or returns without reaching its ``stop()``) still flushes one
+    complete snapshot instead of leaving an empty or partial obs file.  A
+    clean :meth:`stop` unregisters it, so nothing double-emits.
     """
 
     def __init__(
@@ -68,6 +74,7 @@ class SnapshotEmitter:
         self._tracer = tracer
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._atexit_registered = False
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -105,11 +112,21 @@ class SnapshotEmitter:
     # Periodic emission
     # ------------------------------------------------------------------ #
     def start(self) -> "SnapshotEmitter":
+        if not self._atexit_registered:
+            atexit.register(self._atexit_emit)
+            self._atexit_registered = True
         if self.interval > 0 and self._thread is None:
             self._stop.clear()
             self._thread = threading.Thread(target=self._loop, daemon=True)
             self._thread.start()
         return self
+
+    def _atexit_emit(self) -> None:
+        """Final-chance flush for runs that never reach :meth:`stop`."""
+        try:
+            self.emit({"final": True, "atexit": True})
+        except Exception:  # pragma: no cover - interpreter is shutting down
+            pass
 
     def _loop(self) -> None:
         while not self._stop.wait(self.interval):
@@ -124,6 +141,9 @@ class SnapshotEmitter:
         thread, self._thread = self._thread, None
         if thread is not None:
             thread.join(timeout=5.0)
+        if self._atexit_registered:
+            atexit.unregister(self._atexit_emit)
+            self._atexit_registered = False
         self.emit(extra)
 
     def __enter__(self) -> "SnapshotEmitter":
@@ -134,10 +154,16 @@ class SnapshotEmitter:
 
 
 def read_snapshots(path: str) -> List[Dict]:
-    """All snapshots in a JSONL file (corrupt/torn lines skipped)."""
+    """All snapshots in a JSONL file (corrupt/torn lines skipped).
+
+    A watcher polling while the emitter is mid-write sees a truncated last
+    line (no trailing newline yet, possibly split inside a multi-byte
+    character) — both parse failures are skipped, never raised, so
+    ``repro.obs watch`` keeps polling instead of dying on a torn read.
+    """
     snapshots: List[Dict] = []
     try:
-        with open(path, "r", encoding="utf-8") as handle:
+        with open(path, "r", encoding="utf-8", errors="replace") as handle:
             for line in handle:
                 line = line.strip()
                 if not line:

@@ -27,7 +27,8 @@ import numpy as np
 from repro.datasets import load_dataset
 from repro.gnn.models import MODEL_REGISTRY, build_model
 from repro.obs.metrics import active_metrics, next_instance
-from repro.obs.slo import check_slo, format_slo, parse_slo
+from repro.obs.profile import format_top, global_profiler, set_profiling
+from repro.obs.slo import check_slo, format_slo, parse_slo, resolve_slo_histograms
 from repro.obs.snapshot import DEFAULT_SNAPSHOT_PATH, SnapshotEmitter
 from repro.obs.trace import set_tracing
 from repro.gnn.trainer import TrainConfig, Trainer
@@ -139,6 +140,13 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         help="enable request tracing and telemetry snapshot emission",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the kernel-level profiler (per-op times, flops, memory "
+        "high-water marks; with --telemetry, kernel events join the "
+        "request timelines)",
+    )
+    parser.add_argument(
         "--obs-path",
         default=DEFAULT_SNAPSHOT_PATH,
         help=f"telemetry snapshot JSONL path (default: {DEFAULT_SNAPSHOT_PATH})",
@@ -156,7 +164,8 @@ def add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         metavar="SPEC",
         help="latency objectives in ms, e.g. 'p99=50' or 'p50=10,p99=50'; "
-        "violations exit 1",
+        "'p99:worker.compute=20' targets a named histogram; violations "
+        "exit 1",
     )
 
 
@@ -223,6 +232,8 @@ def cmd_serve(args) -> int:
         ]
         if args.telemetry:
             argv.append("--telemetry")
+        if args.profile:
+            argv.append("--profile")
         if args.slo is not None:
             argv += [
                 "--slo",
@@ -247,12 +258,16 @@ def cmd_serve(args) -> int:
     batcher = RequestBatcher(engine, max_batch_size=args.batch_size).start()
     if args.telemetry:
         set_tracing(True)
+    if args.profile:
+        set_profiling(True)
     emitter = (
         SnapshotEmitter(args.obs_path, interval=args.obs_interval)
-        if args.telemetry
+        if args.telemetry or args.profile
         else None
     )
-    if emitter is not None and args.obs_interval > 0:
+    if emitter is not None:
+        # start() registers the atexit flush; the thread only spins with
+        # a positive interval.
         emitter.start()
 
     rng = np.random.default_rng(args.seed)
@@ -291,7 +306,7 @@ def cmd_serve(args) -> int:
     elapsed = time.perf_counter() - started
     batcher.stop()
     if emitter is not None:
-        emitter.stop() if args.obs_interval > 0 else emitter.emit()
+        emitter.stop()
         print(f"telemetry: snapshots at {args.obs_path}")
 
     stats = engine.cache_stats
@@ -313,8 +328,14 @@ def cmd_serve(args) -> int:
         f"batches: {batcher.stats.batches} "
         f"(mean size {batcher.stats.mean_batch_size:.1f})"
     )
+    if args.profile:
+        profiler = global_profiler()
+        print("profile (hottest kernels):")
+        print(format_top(profiler.table(), profiler.memory_marks(), limit=10))
     if args.slo is not None:
-        violations = check_slo(latency, args.slo)
+        violations = check_slo(
+            latency, args.slo, histograms=resolve_slo_histograms(args.slo)
+        )
         if violations:
             for violation in violations:
                 print(f"SLO FAIL: {violation}")

@@ -23,6 +23,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.obs.profile import active_profiler
+
 __all__ = ["CSRMatrix", "gather_row_positions"]
 
 
@@ -385,9 +387,23 @@ class CSRMatrix:
             raise ValueError(
                 f"shape mismatch: {self.shape} @ {other.shape}"
             )
-        if other.ndim == 1:
-            return self._segment_rowsum(self.data * other[self.indices])
-        return self._segment_rowsum(self.data[:, None] * other[self.indices])
+        profiler = active_profiler()
+        if profiler is None:
+            if other.ndim == 1:
+                return self._segment_rowsum(self.data * other[self.indices])
+            return self._segment_rowsum(self.data[:, None] * other[self.indices])
+        frame = profiler.begin()
+        out = None
+        try:
+            if other.ndim == 1:
+                out = self._segment_rowsum(self.data * other[self.indices])
+            else:
+                out = self._segment_rowsum(self.data[:, None] * other[self.indices])
+            return out
+        finally:
+            profiler.end(
+                frame, "spmv" if other.ndim == 1 else "spmm", (self, other), out
+            )
 
     def __matmul__(self, other) -> np.ndarray:
         if isinstance(other, CSRMatrix):

@@ -34,9 +34,10 @@ from repro.gnn.models import build_model
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
+    merge_histogram_states,
     use_metrics,
 )
-from repro.obs.slo import check_slo, parse_slo
+from repro.obs.slo import check_slo, parse_slo, resolve_slo_histograms
 from repro.obs.snapshot import SnapshotEmitter, latest_snapshot, read_snapshots
 from repro.obs.timer import Timer
 from repro.obs.trace import (
@@ -571,3 +572,173 @@ class TestSLO:
         snap = {"p50": 0.002, "p99": 0.08}
         assert check_slo(snap, {"p50": 0.05}) == []
         assert check_slo(snap, {"p99": 0.05})
+
+
+# --------------------------------------------------------------------- #
+# Histogram wire-state merging (cluster-wide quantiles)
+# --------------------------------------------------------------------- #
+class TestHistogramMerge:
+    def test_state_roundtrip_preserves_quantiles(self):
+        hist = Histogram("lat")
+        hist.observe_many(np.random.default_rng(0).lognormal(size=500))
+        clone = Histogram.from_state(hist.state())
+        for q in (0.5, 0.9, 0.99):
+            assert clone.quantile(q) == hist.quantile(q)
+        assert clone.count == hist.count
+
+    def test_merge_is_union_of_observations(self):
+        fast, slow = Histogram("lat"), Histogram("lat")
+        fast.observe_many([0.001] * 90)
+        slow.observe_many([0.5] * 10)
+        merged = merge_histogram_states([fast.state(), slow.state()])
+        # The p99 of the union sees the slow shard's tail; a per-shard
+        # average of p99s would not.
+        assert merged.count == 100
+        assert merged.quantile(0.99) >= 0.4
+        assert merged.quantile(0.50) < 0.01
+
+    def test_merge_accepts_live_histograms_and_states(self):
+        left, right = Histogram("lat"), Histogram("lat")
+        left.observe(0.01)
+        right.observe(0.02)
+        left.merge(right)
+        left.merge(right.state())
+        assert left.count == 3
+
+    def test_merge_rejects_mismatched_bucket_config(self):
+        left = Histogram("lat")
+        right = Histogram("lat", lo=1e-3, hi=1e3)
+        right.observe(0.5)
+        with pytest.raises(ValueError, match="bucket mismatch"):
+            left.merge(right.state())
+
+    def test_empty_group_merges_to_none(self):
+        assert merge_histogram_states([]) is None
+
+
+# --------------------------------------------------------------------- #
+# Named-histogram SLOs
+# --------------------------------------------------------------------- #
+class TestNamedSLO:
+    def test_parse_named_keys(self):
+        parsed = parse_slo("p99=50,p99:worker.compute=20")
+        assert parsed == {"p99": 0.05, "p99:worker.compute": 0.02}
+
+    def test_parse_rejects_unknown_quantile_with_target(self):
+        with pytest.raises(ValueError, match="p77"):
+            parse_slo("p77:worker.compute=20")
+
+    def test_named_objective_checks_named_histogram(self):
+        compute = Histogram("worker.compute")
+        compute.observe_many([0.001] * 90 + [0.5] * 10)
+        objectives = parse_slo("p99:worker.compute=600")
+        assert check_slo(
+            None, objectives, histograms={"worker.compute": compute}
+        ) == []
+        tight = parse_slo("p99:worker.compute=1")
+        violations = check_slo(
+            None, tight, histograms={"worker.compute": compute}
+        )
+        assert violations and "worker.compute" in violations[0]
+
+    def test_missing_named_data_is_a_violation(self):
+        objectives = parse_slo("p99:worker.compute=20")
+        violations = check_slo(None, objectives, histograms={})
+        assert violations == ["p99:worker.compute: no histogram data recorded"]
+
+    def test_resolve_merges_label_sets_from_registry(self):
+        registry = MetricsRegistry()
+        with use_metrics(registry):
+            for shard in (0, 1):
+                hist = registry.histogram("worker.compute", shard=shard)
+                hist.observe(0.01 * (shard + 1))
+            resolved = resolve_slo_histograms(
+                parse_slo("p99:worker.compute=100"), registry
+            )
+        assert resolved["worker.compute"].count == 2
+
+    def test_bare_objectives_resolve_nothing(self):
+        assert resolve_slo_histograms(parse_slo("p99=50")) == {}
+
+
+# --------------------------------------------------------------------- #
+# Schema v2 optional sections
+# --------------------------------------------------------------------- #
+class TestShardStatsOptionalSections:
+    def _snapshot(self, **overrides):
+        payload = dict(
+            schema=SHARD_STATS_SCHEMA_VERSION,
+            shard_id=0,
+            owned=10,
+            halo=3,
+            requests=5,
+            version=1,
+            hits=2,
+            misses=3,
+            invalidated=0,
+            cache_size=3,
+            plans_recorded=1,
+            plan_replays=4,
+            plan_fallbacks=0,
+            megabatches=5,
+            megabatch_nodes=40,
+        )
+        payload.update(overrides)
+        return ShardStatsSnapshot(**payload)
+
+    def test_sections_default_to_none_and_validate(self):
+        snap = self._snapshot()
+        assert snap.histograms is None and snap.profile is None
+        assert snap.validate() is snap
+
+    def test_dict_sections_validate(self):
+        snap = self._snapshot(
+            histograms={"worker.compute": Histogram("worker.compute").state()},
+            profile={"ops": {}, "memory": {}},
+        )
+        assert snap.validate() is snap
+
+    @pytest.mark.parametrize("section", ["histograms", "profile"])
+    def test_non_dict_section_fails_loudly(self, section):
+        broken = self._snapshot(**{section: 7})
+        with pytest.raises(ClusterWorkerError, match=section):
+            broken.validate()
+
+
+# --------------------------------------------------------------------- #
+# Emitter atexit + torn-line tolerance
+# --------------------------------------------------------------------- #
+class TestEmitterRobustness:
+    def test_atexit_flush_registered_until_clean_stop(self, tmp_path):
+        import atexit
+
+        path = str(tmp_path / "obs.jsonl")
+        emitter = SnapshotEmitter(
+            path, registry=MetricsRegistry(), tracer=Tracer()
+        )
+        emitter.start()
+        assert emitter._atexit_registered
+        emitter.stop()
+        assert not emitter._atexit_registered
+        # stop() already unregistered the hook; simulate what atexit would
+        # have done for a crashed run and check the payload marker.
+        emitter._atexit_emit()
+        final = latest_snapshot(path)
+        assert final["atexit"] is True and final["final"] is True
+        atexit.unregister(emitter._atexit_emit)  # hygiene if re-registered
+
+    def test_truncated_last_line_is_skipped(self, tmp_path):
+        path = str(tmp_path / "obs.jsonl")
+        emitter = SnapshotEmitter(
+            path, registry=MetricsRegistry(), tracer=Tracer()
+        )
+        emitter.emit({"marker": 1})
+        full_line = open(path, encoding="utf-8").read()
+        # Simulate a watcher racing the writer: half a line, no newline,
+        # cut inside a multi-byte character.
+        with open(path, "ab") as handle:
+            handle.write(full_line.encode()[: len(full_line) // 2])
+            handle.write("é".encode()[:1])
+        snapshots = read_snapshots(path)
+        assert len(snapshots) == 1
+        assert snapshots[0]["marker"] == 1
